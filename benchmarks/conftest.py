@@ -1,0 +1,30 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Every module regenerates one table or figure of the paper.  Heavy
+simulations go through a session-scoped :class:`CachedRunner`, so the
+first full run populates ``results/simcache.json`` and later runs are
+nearly instantaneous.  Human-readable experiment output is printed with
+``-s`` (or captured into the pytest report otherwise).
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
+
+from repro.analysis.runner import CachedRunner  # noqa: E402
+
+CACHE_PATH = os.environ.get("REPRO_SIMCACHE", "results/simcache.json")
+
+
+@pytest.fixture(scope="session")
+def runner() -> CachedRunner:
+    return CachedRunner(CACHE_PATH)
+
+
+def emit(text: str) -> None:
+    """Print experiment output (shown with ``pytest -s`` or on failure)."""
+    print()
+    print(text)

@@ -1,0 +1,265 @@
+"""Ablation studies called out in DESIGN.md.
+
+1. Scale-model choice: 16/32-SM models instead of 8/16 (the artifact
+   appendix reports higher errors for strong scaling — the 32-SM model is
+   an outlier for some benchmarks).
+2. MRC collection method: exact stack distance vs exact multi-capacity
+   LRU vs StatStack approximation — cost and predicted-region agreement.
+3. Cliff-detection threshold sensitivity around the paper's 2x rule.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import figure4_strong_accuracy
+from repro.analysis.tables import render_table
+from repro.mrc import analyze_regions, collect_miss_rate_curve
+from repro.mrc.cliff import CLIFF_DROP_THRESHOLD
+from repro.workloads import STRONG_SCALING, build_trace
+
+
+class TestScaleModelChoiceAblation:
+    """Artifact appendix: predicting from 16/32-SM scale models."""
+
+    @pytest.fixture(scope="class")
+    def with_16_32(self, runner):
+        return figure4_strong_accuracy(128, runner=runner, scale_sizes=(16, 32))
+
+    @pytest.fixture(scope="class")
+    def with_8_16(self, runner):
+        return figure4_strong_accuracy(128, runner=runner, scale_sizes=(8, 16))
+
+    def test_regenerate(self, with_16_32):
+        emit(with_16_32.as_text())
+
+    def test_scale_model_still_beats_log_and_proportional(self, with_16_32):
+        sm = with_16_32.mean_error("scale-model")
+        assert with_16_32.mean_error("logarithmic") > sm
+        assert with_16_32.mean_error("proportional") > sm * 0.9
+
+    def test_comparison_table(self, with_8_16, with_16_32):
+        rows = [
+            ["8/16 SMs",
+             f"{100 * with_8_16.mean_error('scale-model'):.1f}%",
+             f"{100 * with_8_16.max_error('scale-model'):.1f}%"],
+            ["16/32 SMs",
+             f"{100 * with_16_32.mean_error('scale-model'):.1f}%",
+             f"{100 * with_16_32.max_error('scale-model'):.1f}%"],
+        ]
+        emit(render_table(["scale models", "avg", "max"], rows,
+                          title="Ablation: scale-model choice (128-SM target)"))
+
+
+class TestMrcMethodAblation:
+    BENCH = "dct"
+
+    @pytest.fixture(scope="class")
+    def curves(self):
+        out = {}
+        for method in ("stack", "lru", "statstack"):
+            trace = build_trace(STRONG_SCALING[self.BENCH])
+            out[method] = collect_miss_rate_curve(trace, method=method)
+        return out
+
+    def test_exact_methods_agree(self, curves):
+        assert curves["stack"].mpki == pytest.approx(curves["lru"].mpki)
+
+    def test_statstack_finds_the_same_cliff(self, curves):
+        exact = analyze_regions(curves["stack"])
+        approx = analyze_regions(curves["statstack"])
+        assert exact.cliff_step == approx.cliff_step
+
+    def test_costs_reported(self, curves):
+        rows = [
+            [m, f"{c.metadata['collection_seconds']:.2f}s"]
+            + [f"{v:.2f}" for v in c.mpki]
+            for m, c in curves.items()
+        ]
+        emit(render_table(
+            ["method", "cost", "2.125MB", "4.25MB", "8.5MB", "17MB", "34MB"],
+            rows, title=f"Ablation: MRC methods ({self.BENCH})",
+        ))
+
+
+class TestCliffThresholdAblation:
+    def test_threshold_sensitivity(self, runner):
+        """The paper's 2x rule: nearby thresholds find the same cliffs for
+        the archetype benchmarks; an extreme threshold misses them."""
+        rows = []
+        for abbr in ("dct", "bfs", "pf"):
+            curve = runner.miss_rate_curve(STRONG_SCALING[abbr])
+            steps = []
+            for threshold in (1.5, CLIFF_DROP_THRESHOLD, 3.0, 10.0):
+                steps.append(analyze_regions(curve, threshold).cliff_step)
+            rows.append([abbr] + [str(s) for s in steps])
+        emit(render_table(
+            ["bench", "t=1.5", "t=2.0", "t=3.0", "t=10"],
+            rows, title="Ablation: cliff threshold",
+        ))
+        dct_row = rows[0]
+        assert dct_row[2] == "3"  # paper threshold finds the 17->34 cliff
+        bfs_row = rows[1]
+        assert bfs_row[2] == "None"  # no false positive on gradual curves
+
+
+class TestSubstrateKnobAblations:
+    """Optional-fidelity knobs: NoC topology and DRAM backend."""
+
+    BENCH = "pf"  # bandwidth-sensitive linear workload
+
+    def _simulate(self, **config_overrides):
+        from dataclasses import replace
+
+        from repro.gpu import GPUConfig, simulate
+        from repro.workloads import STRONG_SCALING, build_trace
+
+        cfg = replace(GPUConfig.paper_system(16), **config_overrides)
+        trace = build_trace(STRONG_SCALING[self.BENCH],
+                            capacity_scale=cfg.capacity_scale)
+        return simulate(cfg, trace)
+
+    def test_noc_topology_ordering(self):
+        xbar = self._simulate()
+        mesh = self._simulate(noc_topology="mesh")
+        rows = [
+            ["crossbar", f"{xbar.ipc:.1f}"],
+            ["mesh", f"{mesh.ipc:.1f}"],
+        ]
+        emit(render_table(["topology", "IPC (pf @16SM)"], rows,
+                          title="Ablation: NoC topology"))
+        assert mesh.ipc < xbar.ipc
+
+    def test_dram_backend_comparison(self):
+        simple = self._simulate()
+        banked = self._simulate(dram_model="banked", latency_jitter=0.0)
+        rows = [
+            ["simple", f"{simple.ipc:.1f}"],
+            ["banked", f"{banked.ipc:.1f}"],
+        ]
+        emit(render_table(["backend", "IPC (pf @16SM)"], rows,
+                          title="Ablation: DRAM backend"))
+        # Both land in the same regime (within 2x), confirming the flat
+        # model is an adequate default for the methodology.
+        assert 0.5 < banked.ipc / simple.ipc < 2.0
+
+
+class TestThirdScaleModelAblation:
+    """Does adding a 32-SM third scale model help each method?
+
+    The scale-model predictor uses the smallest/largest pair either way;
+    the regressions get a genuine third fitting point.
+    """
+
+    def test_three_point_fits(self, runner):
+        two = figure4_strong_accuracy(128, runner=runner, scale_sizes=(8, 16))
+        three = figure4_strong_accuracy(
+            128, runner=runner, scale_sizes=(8, 16, 32)
+        )
+        rows = []
+        for method in ("proportional", "linear", "power-law", "scale-model"):
+            rows.append([
+                method,
+                f"{100 * two.mean_error(method):.1f}%",
+                f"{100 * three.mean_error(method):.1f}%",
+            ])
+        emit(render_table(
+            ["method", "8/16 models", "8/16/32 models"], rows,
+            title="Ablation: third scale model (128-SM target)",
+        ))
+        # The scale-model method keeps using the trend between its extreme
+        # models and must not get dramatically worse with the extra point.
+        assert three.mean_error("scale-model") < 2 * two.mean_error("scale-model")
+
+
+class TestWorkloadCharacterization:
+    """Table II cross-check: measured footprints and reuse factors."""
+
+    def test_characterization_table(self):
+        from repro.mrc.characterize import characterize
+        from repro.workloads import build_trace
+
+        rows = []
+        for abbr in ("dct", "bfs", "pf", "ht", "gemm"):
+            spec = STRONG_SCALING[abbr]
+            ch = characterize(build_trace(spec), max_accesses=80000)
+            rows.append([
+                abbr,
+                f"{ch.footprint_mb():.1f}",
+                f"{spec.footprint_mb:g}",
+                f"{ch.reuse_factor:.1f}",
+                spec.scaling.value,
+            ])
+        emit(render_table(
+            ["bench", "measured MB*", "Table II MB", "reuse", "class"],
+            rows,
+            title=("Ablation: trace characterization "
+                   "(*prefix-sampled; sweep traces cover the hot set)"),
+        ))
+        assert len(rows) == 5
+
+
+class TestSensitivityAblation:
+    def test_input_sensitivity_table(self, runner):
+        from repro.core.profile import ScaleModelProfile
+        from repro.core.sensitivity import sensitivity_report
+
+        spec = STRONG_SCALING["dct"]
+        sims = {n: runner.simulate(spec, n) for n in (8, 16)}
+        profile = ScaleModelProfile(
+            "dct", (8, 16), (sims[8].ipc, sims[16].ipc),
+            f_mem=sims[16].memory_stall_fraction,
+            curve=runner.miss_rate_curve(spec),
+        )
+        report = sensitivity_report(profile, 128)
+        emit(render_table(["input", "perturbation", "prediction change"],
+                          report.as_rows(),
+                          title="Ablation: predictor input sensitivity (dct)"))
+        # Crossing a cliff: f_mem error is material.
+        assert report.worst_case("f_mem") > 0.02
+
+
+def test_bench_full_fig4_prediction_pipeline(benchmark, runner):
+    """End-to-end prediction cost for all 21 benchmarks (simulation
+    results cached; this times the analysis pipeline itself)."""
+    result = benchmark.pedantic(
+        figure4_strong_accuracy, args=(128,), kwargs={"runner": runner},
+        rounds=1, iterations=1,
+    )
+    assert len(result.actuals) == 21
+
+
+class TestTrainedGlobalModelAblation:
+    """Section II's argument, quantified: the prior-work approach (a
+    one-size-fits-all model *trained* on other benchmarks) versus the
+    paper's per-workload prediction."""
+
+    def test_leave_one_out_vs_scale_model(self, runner):
+        from repro.core.trained import leave_one_out_errors
+
+        curves = {
+            abbr: {n: runner.simulate(spec, n).ipc
+                   for n in (8, 16, 32, 64, 128)}
+            for abbr, spec in STRONG_SCALING.items()
+        }
+        trained = leave_one_out_errors(curves, anchor_size=16, target_size=128)
+        fig4 = figure4_strong_accuracy(128, runner=runner)
+
+        rows = []
+        for abbr in sorted(trained):
+            rows.append([
+                abbr,
+                f"{100 * trained[abbr]:.1f}%",
+                f"{100 * fig4.errors['scale-model'][abbr]:.1f}%",
+            ])
+        trained_avg = sum(trained.values()) / len(trained)
+        rows.append(["avg", f"{100 * trained_avg:.1f}%",
+                     f"{100 * fig4.mean_error('scale-model'):.1f}%"])
+        emit(render_table(
+            ["bench", "trained global model", "per-workload scale-model"],
+            rows,
+            title="Ablation: trained one-size-fits-all vs per-workload",
+        ))
+        assert trained_avg > fig4.mean_error("scale-model")
+        # The trained model's worst case (a super-linear workload predicted
+        # from the others) is far beyond scale-model's worst case.
+        assert max(trained.values()) > fig4.max_error("scale-model")

@@ -1,0 +1,65 @@
+"""Artifact-appendix reproduction: the prediction-tool workflow.
+
+The paper's artifact ships scale-model IPCs, f_mem values and miss-rate
+curves so target predictions can be re-derived without simulation.  This
+harness exports the equivalent bundle from cached runs and verifies the
+``gpu-scale-model`` CLI reproduces the library's predictions from the
+bundle alone — the artifact round-trip.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from conftest import emit
+from repro.analysis.artifact import export_artifact, strong_benchmark_record
+from repro.core.cli import build_parser, run
+
+
+class TestArtifactBundle:
+    @pytest.fixture(scope="class")
+    def bundle_dir(self, runner, tmp_path_factory):
+        out = str(tmp_path_factory.mktemp("artifact"))
+        export_artifact(out, runner=runner,
+                        benchmarks=("dct", "bfs", "pf"),
+                        weak_benchmarks=("va",))
+        return out
+
+    def test_bundle_files_exist(self, bundle_dir):
+        for rel in ("configs.json", "summary.json",
+                    "strong/dct.json", "weak/va.json"):
+            assert os.path.exists(os.path.join(bundle_dir, rel)), rel
+
+    def test_record_carries_everything_the_cli_needs(self, bundle_dir):
+        with open(os.path.join(bundle_dir, "strong", "dct.json")) as fh:
+            record = json.load(fh)
+        assert set(record["scale_model_ipc"]) == {"8", "16"}
+        assert len(record["miss_rate_curve"]["mpki"]) == 5
+        assert 0.0 <= record["f_mem"] < 1.0
+
+    def test_cli_round_trip(self, bundle_dir):
+        """Feeding a record back through the artifact CLI reproduces the
+        library's scale-model predictions digit for digit."""
+        with open(os.path.join(bundle_dir, "strong", "dct.json")) as fh:
+            record = json.load(fh)
+        argv = [
+            str(record["scale_model_ipc"]["8"]),
+            str(record["scale_model_ipc"]["16"]),
+            *[str(m) for m in record["miss_rate_curve"]["mpki"]],
+            "--small-sms", "8",
+            "--f-mem", str(record["f_mem"]),
+        ]
+        out = io.StringIO()
+        assert run(build_parser().parse_args(argv), out=out) == 0
+        text = out.getvalue()
+        emit(text)
+        for target in ("32", "64", "128"):
+            expected = record["predictions"]["scale-model"][target]
+            assert f"{expected:.1f}" in text, target
+
+    def test_summary_reports_errors(self, bundle_dir):
+        with open(os.path.join(bundle_dir, "summary.json")) as fh:
+            summary = json.load(fh)
+        assert summary["strong"]["dct"]["scale-model"]["128"] < 0.6

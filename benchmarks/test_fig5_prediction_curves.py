@@ -1,0 +1,53 @@
+"""Figure 5: real versus predicted IPC curves for twelve benchmarks.
+
+The paper plots four benchmarks per scaling class; the harness prints the
+same series (real, scale-model, proportional, linear, power-law) and
+asserts that the scale-model prediction tracks the real trend where the
+baselines do not.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import FIG5_BENCHMARKS, figure5_prediction_curves
+
+
+@pytest.fixture(scope="module")
+def fig5(runner):
+    return figure5_prediction_curves(FIG5_BENCHMARKS, runner)
+
+
+class TestFigure5:
+    def test_regenerate(self, fig5):
+        emit(fig5.as_text())
+        assert len(fig5.benchmarks) == 12
+
+    def test_scale_model_tracks_real_at_targets(self, fig5):
+        """Scale-model predictions stay within 45% of real IPC at every
+        target for every plotted benchmark (the baselines blow through
+        100%+ on the super-linear row)."""
+        for bench in fig5.benchmarks:
+            for target in (32, 64, 128):
+                pred = fig5.predicted[bench]["scale-model"][target]
+                real = fig5.real[bench][target]
+                assert abs(pred - real) / real < 0.45, (bench, target)
+
+    def test_proportional_misses_super_linear_row(self, fig5):
+        for bench in ("dct", "fwt", "as", "lu"):
+            pred = fig5.predicted[bench]["proportional"][128]
+            real = fig5.real[bench][128]
+            assert abs(pred - real) / real > 0.2, bench
+
+    def test_scale_model_beats_proportional_on_super_linear(self, fig5):
+        for bench in ("dct", "fwt", "as", "lu"):
+            sm = abs(fig5.predicted[bench]["scale-model"][128]
+                     - fig5.real[bench][128])
+            prop = abs(fig5.predicted[bench]["proportional"][128]
+                       - fig5.real[bench][128])
+            assert sm < prop, bench
+
+    def test_scale_models_anchor_the_curves(self, fig5):
+        """The 8/16-SM points of the real series are the inputs the
+        predictor saw; sanity-check they are present and ordered."""
+        for bench in fig5.benchmarks:
+            assert fig5.real[bench][8] < fig5.real[bench][16]

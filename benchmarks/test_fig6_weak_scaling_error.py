@@ -1,0 +1,54 @@
+"""Figure 6: weak-scaling prediction error for 32/64/128-SM targets.
+
+Paper: scale-model simulation is the most accurate method, 1.7% average
+and 4.5% max at 128 SMs; errors are generally lower than under strong
+scaling because no cliff can occur.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import figure6_weak_accuracy
+
+
+@pytest.fixture(scope="module")
+def fig6(runner):
+    return figure6_weak_accuracy(runner=runner)
+
+
+class TestFigure6:
+    def test_regenerate(self, fig6):
+        for target, result in sorted(fig6.items()):
+            emit(result.as_text())
+        assert set(fig6) == {32, 64, 128}
+
+    def test_scale_model_accurate_at_128(self, fig6):
+        result = fig6[128]
+        assert result.mean_error("scale-model") < 0.12
+        assert result.max_error("scale-model") < 0.30
+
+    def test_scale_model_beats_log_and_proportional(self, fig6):
+        """Logarithmic loses everywhere; proportional loses once the
+        target is further than one doubling from the largest scale model
+        (at 32 SMs every method interpolates trivially well)."""
+        for target, result in fig6.items():
+            sm = result.mean_error("scale-model")
+            assert result.mean_error("logarithmic") > sm
+            if target > 32:
+                assert result.mean_error("proportional") >= sm * 0.99
+
+    def test_weak_easier_than_strong_for_scale_model(self, fig6, runner):
+        from repro.analysis.experiments import figure4_strong_accuracy
+
+        strong = figure4_strong_accuracy(128, runner=runner)
+        assert (
+            fig6[128].mean_error("scale-model")
+            < strong.mean_error("scale-model")
+        )
+
+    def test_sub_linear_weak_benchmarks_hardest(self, fig6):
+        """Paper: 'the highest errors are observed for bfs and bs'."""
+        result = fig6[128]
+        errs = result.errors["scale-model"]
+        hardest = max(errs, key=errs.get)
+        assert hardest in ("bfs", "bs")

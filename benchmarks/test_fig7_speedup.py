@@ -1,0 +1,37 @@
+"""Figure 7: simulation-time speedup through weak-scaling scale models.
+
+Speedup compares simulating the target directly against simulating both
+scale models (8 and 16 SMs).  The paper reports 1.5x / 3.9x / 9.3x for
+32 / 64 / 128-SM targets; the shape — speedup grows with target size —
+is what the harness asserts (absolute values depend on the host).
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import figure7_speedup
+
+
+@pytest.fixture(scope="module")
+def fig7(runner):
+    return figure7_speedup(runner)
+
+
+class TestFigure7:
+    def test_regenerate(self, fig7):
+        emit(fig7.as_text())
+        assert fig7.target_sizes == (32, 64, 128)
+
+    def test_speedup_grows_with_target_size(self, fig7):
+        averages = [fig7.average(t) for t in fig7.target_sizes]
+        assert averages[0] < averages[1] < averages[2]
+
+    def test_128_target_speedup_substantial(self, fig7):
+        """Weak-scaled 128-SM inputs are 16x the 8-SM input; simulating
+        both scale models costs ~3 units of the base work, so the
+        speedup must be well above 2x (paper: 9.3x)."""
+        assert fig7.average(128) > 2.0
+
+    def test_every_benchmark_benefits_at_128(self, fig7):
+        for bench, per_target in fig7.speedups.items():
+            assert per_target[128] > 1.0, bench

@@ -1,0 +1,38 @@
+"""Figure 8: multi-chiplet prediction error (16 chiplets from 4/8).
+
+Paper: scale-model simulation predicts 16-chiplet IPC with 2.5% average
+error (4.3% max); logarithmic regression and proportional scaling are
+highly inaccurate.  These are the heaviest simulations in the harness
+(up to 1,024 SMs), so results are cached aggressively.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.analysis.experiments import figure8_mcm_accuracy
+
+
+@pytest.fixture(scope="module")
+def fig8(runner):
+    return figure8_mcm_accuracy(runner)
+
+
+class TestFigure8:
+    def test_regenerate(self, fig8):
+        emit(fig8.as_text())
+        assert set(fig8.errors["scale-model"]) == {"bfs", "bs", "as", "bp", "va"}
+
+    def test_scale_model_accurate(self, fig8):
+        assert fig8.mean_error("scale-model") < 0.15
+        assert fig8.max_error("scale-model") < 0.35
+
+    def test_scale_model_among_best(self, fig8):
+        sm = fig8.mean_error("scale-model")
+        assert fig8.mean_error("logarithmic") > sm
+        assert fig8.mean_error("proportional") >= sm * 0.99
+
+    def test_predictor_reused_verbatim_for_chiplets(self, fig8):
+        """The same per-workload model handles chiplet counts: scale
+        models at 4/8 chiplets, target at 16."""
+        assert fig8.scale_sizes == (4, 8)
+        assert fig8.target_size == 16

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-chiplet GPU case study (Section VII-D, Figure 8).
+
+Run:  python examples/mcm_chiplets.py [benchmark]   (default: va)
+
+Predicts a 16-chiplet (1,024-SM) MCM GPU's performance from 4- and
+8-chiplet scale models, using weak scaling (work proportional to chiplet
+count).  The same per-workload predictor handles chiplet counts exactly
+as it handles SM counts.
+"""
+
+import sys
+import time
+
+from repro.core import ScaleModelPredictor, ScaleModelProfile
+from repro.core.baselines import make_predictor
+from repro.gpu import McmConfig, simulate_mcm
+from repro.workloads import WEAK_SCALING, build_trace
+
+CHIPLETS = (4, 8, 16)
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "va"
+    spec = WEAK_SCALING[abbr]
+    target = McmConfig.paper_target()
+    print("Table V target system:")
+    for key, value in target.describe().items():
+        print(f"  {key:18s} {value}")
+
+    results = {}
+    for chiplets in CHIPLETS:
+        config = target.scaled(chiplets)
+        trace = build_trace(
+            spec,
+            work_scale=float(chiplets),
+            capacity_scale=config.chiplet.capacity_scale,
+        )
+        start = time.perf_counter()
+        results[chiplets] = simulate_mcm(config, trace)
+        r = results[chiplets]
+        print(f"\n  {chiplets:2d} chiplets ({config.total_sms} SMs): "
+              f"IPC {r.ipc:8.1f}  remote accesses "
+              f"{100 * r.extra['remote_fraction']:.0f}%  "
+              f"({time.perf_counter() - start:.1f}s)")
+
+    profile = ScaleModelProfile(
+        workload=abbr, sizes=(4, 8),
+        ipcs=(results[4].ipc, results[8].ipc),
+        f_mem=results[8].memory_stall_fraction,
+    )
+    predictor = ScaleModelPredictor(profile)
+    actual = results[16].ipc
+    print(f"\n  16-chiplet prediction vs actual IPC {actual:.1f}:")
+    for method in ("scale-model", "proportional", "linear", "power-law",
+                   "logarithmic"):
+        if method == "scale-model":
+            pred = predictor.predict(16).ipc
+        else:
+            pred = make_predictor(method).fit(
+                profile.sizes, profile.ipcs
+            ).predict(16)
+        err = abs(pred - actual) / actual
+        print(f"    {method:14s} {pred:9.1f}  error {100 * err:5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

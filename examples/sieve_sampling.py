@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Sieve-style kernel sampling: simulate a fraction of a multi-kernel
+workload and estimate the full runtime (Naderan-Tahan et al., cited by
+the paper for its MLPerf traces).
+
+Run:  python examples/sieve_sampling.py [benchmark]   (default: unet)
+
+The plan stratifies kernels by execution signature, simulates one
+representative per stratum, and weights the results back up.  The
+estimate is compared against simulating the whole workload.
+"""
+
+import sys
+import time
+
+from repro import GPUConfig, build_trace, get_benchmark, simulate
+from repro.trace import sieve_sample
+from repro.trace.kernel import WorkloadTrace
+
+
+def simulate_kernels_individually(config, workload, indices):
+    """Simulate selected kernels as standalone launches, returning cycles."""
+    cycles = {}
+    for index in indices:
+        solo = WorkloadTrace(
+            name=f"{workload.name}-k{index}",
+            kernels=[workload.kernels[index]],
+            metadata=workload.metadata,
+        )
+        cycles[index] = simulate(config, solo).cycles
+    return cycles
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "unet"
+    spec = get_benchmark(abbr)
+    config = GPUConfig.paper_system(16)
+    trace = build_trace(spec, capacity_scale=config.capacity_scale)
+    print(f"{abbr}: {len(trace.kernels)} kernels, "
+          f"{trace.count_accesses()} accesses total")
+
+    plan = sieve_sample(trace, max_strata=2)
+    print(f"sieve plan: {len(plan.representatives)} representatives, "
+          f"work reduction {plan.reduction_factor:.1f}x, "
+          f"stratum weights {[f'{w:.2f}' for w in plan.weights]}")
+
+    start = time.perf_counter()
+    rep_cycles = simulate_kernels_individually(
+        config, trace, plan.representatives
+    )
+    sampled_time = time.perf_counter() - start
+    estimate = plan.estimate_cycles(rep_cycles)
+
+    start = time.perf_counter()
+    trace_full = build_trace(spec, capacity_scale=config.capacity_scale)
+    full = simulate(config, trace_full)
+    full_time = time.perf_counter() - start
+
+    error = abs(estimate - full.cycles) / full.cycles
+    print(f"estimated cycles: {estimate:,.0f}  (simulated {sampled_time:.1f}s)")
+    print(f"actual cycles:    {full.cycles:,.0f}  (simulated {full_time:.1f}s)")
+    print(f"estimation error: {100 * error:.1f}%   "
+          f"simulation speedup: {full_time / max(sampled_time, 1e-9):.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: reproduce one benchmark's row of Figures 1/2/5.
+
+Run:  python examples/strong_scaling_study.py [benchmark ...]
+      (defaults to one benchmark per scaling class: dct bfs pf)
+
+For each benchmark this simulates every paper system size (8-128 SMs),
+collects the miss-rate curve, classifies the scaling behaviour, and shows
+how each prediction method tracks the real curve.
+"""
+
+import sys
+
+from repro.analysis.ascii_plot import plot_series
+from repro.analysis.classify import classify_scaling
+from repro.analysis.runner import CachedRunner
+from repro.core import ScaleModelPredictor, ScaleModelProfile
+from repro.core.baselines import make_predictor
+from repro.mrc import analyze_regions
+from repro.workloads import STRONG_SCALING
+
+SIZES = (8, 16, 32, 64, 128)
+
+
+def study(abbr: str, runner: CachedRunner) -> None:
+    spec = STRONG_SCALING[abbr]
+    print(f"\n=== {spec.name} ({abbr}) — suite {spec.suite}, "
+          f"footprint {spec.footprint_mb:g} MB")
+
+    real = {}
+    for sms in SIZES:
+        result = runner.simulate(spec, sms)
+        real[sms] = result.ipc
+        print(f"  {sms:3d} SMs: IPC {result.ipc:8.1f}   MPKI {result.mpki:5.2f}   "
+              f"f_mem {result.memory_stall_fraction:.2f}")
+
+    measured = classify_scaling([real[s] for s in SIZES], SIZES)
+    print(f"  classification: measured {measured.value!r}, "
+          f"paper says {spec.scaling.value!r}")
+
+    curve = runner.miss_rate_curve(spec)
+    analysis = analyze_regions(curve)
+    print("  MRC:", "  ".join(f"{mb:g}MB={m:.2f}" for mb, m in curve.as_rows()))
+    if analysis.has_cliff:
+        low, high = analysis.cliff_capacities
+        print(f"  cliff between {low / 2**20:.2f} MB and {high / 2**20:.2f} MB")
+    else:
+        print("  no miss-rate cliff (pre-cliff regime everywhere)")
+
+    profile = ScaleModelProfile(
+        workload=abbr, sizes=(8, 16),
+        ipcs=(real[8], real[16]),
+        f_mem=runner.simulate(spec, 16).memory_stall_fraction,
+        curve=curve,
+    )
+    predictor = ScaleModelPredictor(profile)
+    series = {"real": [real[s] for s in SIZES]}
+    scale_model = {8: real[8], 16: real[16]}
+    for target in (32, 64, 128):
+        scale_model[target] = predictor.predict(target).ipc
+    series["scale-model"] = [scale_model[s] for s in SIZES]
+    for name in ("proportional", "power-law"):
+        fitted = make_predictor(name).fit(profile.sizes, profile.ipcs)
+        series[name] = [fitted.predict(s) for s in SIZES]
+    print(plot_series([float(s) for s in SIZES], series,
+                      title=f"{abbr}: real vs predicted IPC", x_label="#SMs"))
+
+    actual = real[128]
+    for name, values in series.items():
+        if name == "real":
+            continue
+        err = abs(values[-1] - actual) / actual
+        print(f"  {name:12s} @128 SMs: {values[-1]:8.1f}  error {100 * err:5.1f}%")
+
+
+def main() -> None:
+    benchmarks = sys.argv[1:] or ["dct", "bfs", "pf"]
+    runner = CachedRunner()
+    for abbr in benchmarks:
+        study(abbr, runner)
+
+
+if __name__ == "__main__":
+    main()

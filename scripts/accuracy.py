@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Prediction-accuracy calibration: per-benchmark, per-method errors for
+the strong-scaling scenario (the Figure 4 experiment), using the cached
+runner so repeated invocations only re-simulate what changed.
+
+Usage: python scripts/accuracy.py [abbr ...] [--target 128] [--no-cache]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.runner import CachedRunner
+from repro.core import METHOD_NAMES, ScaleModelPredictor, ScaleModelProfile
+from repro.core.baselines import make_predictor
+from repro.workloads import STRONG_SCALING
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*")
+    parser.add_argument("--targets", default="64,128")
+    parser.add_argument("--scales", default="8,16")
+    parser.add_argument("--no-cache", action="store_true")
+    args = parser.parse_args(argv)
+
+    runner = CachedRunner(None if args.no_cache else "results/simcache.json")
+    names = args.benchmarks or list(STRONG_SCALING)
+    targets = [int(t) for t in args.targets.split(",")]
+    scales = [int(s) for s in args.scales.split(",")]
+
+    per_method = {m: [] for m in METHOD_NAMES}
+    for abbr in names:
+        spec = STRONG_SCALING[abbr]
+        sims = {n: runner.simulate(spec, n) for n in scales + targets}
+        curve = runner.miss_rate_curve(spec)
+        profile = ScaleModelProfile(
+            workload=abbr,
+            sizes=tuple(scales),
+            ipcs=tuple(sims[n].ipc for n in scales),
+            f_mem=sims[max(scales)].memory_stall_fraction,
+            curve=curve,
+        )
+        predictor = ScaleModelPredictor(profile)
+        row = [f"{abbr:6s} [{spec.scaling.value:12s}]"]
+        for t in targets:
+            actual = sims[t].ipc
+            errs = {}
+            for m in METHOD_NAMES:
+                if m == "scale-model":
+                    pred = predictor.predict(t).ipc
+                else:
+                    pred = make_predictor(m).fit(profile.sizes, profile.ipcs).predict(t)
+                errs[m] = abs(pred - actual) / actual
+                per_method[m].append(errs[m])
+            row.append(
+                f"T{t}: " + " ".join(f"{m[:4]}={100*errs[m]:5.1f}%" for m in METHOD_NAMES)
+            )
+        region = predictor._region_of(targets[-1]).value if curve else "?"
+        print("  ".join(row) + f"  region@{targets[-1]}={region}")
+
+    print("\n--- averages over", len(names), "benchmarks x", len(targets), "targets")
+    for m in METHOD_NAMES:
+        errs = per_method[m]
+        print(f"{m:12s} avg={100*sum(errs)/len(errs):6.1f}%  max={100*max(errs):6.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

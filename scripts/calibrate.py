@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Calibration sweep: simulate benchmarks across system sizes and check
+that each reproduces its published scaling class (Table II / Table IV).
+
+Usage:
+    python scripts/calibrate.py [abbr ...] [--weak] [--sizes 8,16,32,64,128]
+
+Prints IPC at every size, doubling ratios, the measured class and the
+expected class.  This is the tool used to tune generator parameters in
+``repro/workloads/catalog.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.gpu import GPUConfig, simulate
+from repro.workloads import STRONG_SCALING, WEAK_SCALING, build_trace
+from repro.analysis.classify import classify_scaling
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", help="abbrs (default: all)")
+    parser.add_argument("--weak", action="store_true", help="weak scaling")
+    parser.add_argument("--sizes", default="8,16,32,64,128")
+    args = parser.parse_args(argv)
+
+    table = WEAK_SCALING if args.weak else STRONG_SCALING
+    names = args.benchmarks or list(table)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    base = min(sizes)
+
+    bad = 0
+    for abbr in names:
+        spec = table[abbr]
+        ipcs = {}
+        row = []
+        for nsm in sizes:
+            cfg = GPUConfig.paper_system(nsm)
+            w = nsm / base if args.weak else 1.0
+            wl = build_trace(spec, work_scale=w)
+            t0 = time.perf_counter()
+            r = simulate(cfg, wl)
+            ipcs[nsm] = r.ipc
+            row.append(
+                f"{nsm}SM:{r.ipc:7.1f} f={r.memory_stall_fraction:.2f} "
+                f"m={r.mpki:5.2f} ({time.perf_counter()-t0:.1f}s)"
+            )
+        ratios = [ipcs[b] / ipcs[a] for a, b in zip(sizes, sizes[1:])]
+        measured = classify_scaling([ipcs[s] for s in sizes], sizes)
+        expected = spec.weak_scaling if args.weak else spec.scaling
+        ok = measured == expected
+        bad += 0 if ok else 1
+        flag = "OK " if ok else "BAD"
+        print(f"[{flag}] {abbr:6s} expected={expected.value:12s} "
+              f"measured={measured.value:12s} "
+              f"ratios={['%.2f' % x for x in ratios]}")
+        for line in row:
+            print("        " + line)
+    print(f"\n{bad} misclassified of {len(names)}")
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Final verification sequence: full test suite, full benchmark harness
+# (assertions + timings), and the deliverable output files.
+set -u
+cd "$(dirname "$0")/.."
+
+echo "== tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt | tail -2
+
+echo "== benchmark harness (assertions) =="
+python -m pytest benchmarks/ -p no:cacheprovider 2>&1 | tee bench_assertions.txt | tail -2
+
+echo "== benchmark harness (--benchmark-only) =="
+python -m pytest benchmarks/ --benchmark-only -p no:cacheprovider 2>&1 | tee bench_output.txt | tail -4

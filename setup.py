@@ -1,0 +1,17 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+Canonical metadata lives in pyproject.toml; the console scripts are
+mirrored here because ``setup.py develop`` (used on hosts where pip cannot
+fetch build dependencies) does not read ``[project.scripts]``.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": [
+            "gpu-scale-model = repro.core.cli:main",
+            "gpu-scale-experiments = repro.analysis.cli:main",
+        ]
+    }
+)

@@ -1,0 +1,8 @@
+"""Analysis and reporting: experiment runners for every table and figure
+of the paper, scaling classification, text tables, ASCII plots, the
+cached simulation store and the artifact-bundle exporter."""
+
+from repro.analysis.classify import classify_scaling
+from repro.analysis.runner import CachedRunner
+
+__all__ = ["classify_scaling", "CachedRunner"]

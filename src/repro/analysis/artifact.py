@@ -1,0 +1,174 @@
+"""Artifact bundle export — the paper's figshare package, regenerated.
+
+The paper's artifact distributes, per benchmark: (1) scale-model and
+target IPC numbers, (2) miss-rate curves, (3) system configuration files
+and (4) the prediction tool's outputs, so reviewers can verify every
+reported error without re-simulation.  :func:`export_artifact` writes the
+equivalent JSON bundle from this repository's (cached) runs:
+
+    artifact/
+      configs.json            Table I / Table V configurations
+      strong/<bench>.json     IPCs, f_mem, MRC, predictions, errors
+      weak/<bench>.json       weak-scaling equivalents
+      summary.json            per-method avg/max error per experiment
+
+Each per-benchmark file is exactly the input the ``gpu-scale-model`` CLI
+needs, so the artifact round-trips: predictions can be re-derived from
+the bundle alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.analysis.runner import CachedRunner
+from repro.core.baselines import METHOD_NAMES, make_predictor
+from repro.core.model import ScaleModelPredictor
+from repro.core.profile import ScaleModelProfile
+from repro.gpu.config import GPUConfig, McmConfig, PAPER_SYSTEM_SIZES
+from repro.workloads import (
+    STRONG_SCALING,
+    WEAK_SCALING,
+    strong_scaling_names,
+    weak_scaling_names,
+)
+
+
+def _predictions(profile: ScaleModelProfile, targets: Sequence[int]) -> Dict:
+    predictor = ScaleModelPredictor(profile)
+    out: Dict[str, Dict[str, float]] = {}
+    for method in METHOD_NAMES:
+        if method == "scale-model":
+            out[method] = {str(t): predictor.predict(t).ipc for t in targets}
+        else:
+            fitted = make_predictor(method).fit(profile.sizes, profile.ipcs)
+            out[method] = {str(t): fitted.predict(t) for t in targets}
+    return out
+
+
+def _errors(predictions: Dict, actuals: Dict[str, float]) -> Dict:
+    out: Dict[str, Dict[str, float]] = {}
+    for method, per_target in predictions.items():
+        out[method] = {
+            t: abs(pred - actuals[t]) / actuals[t]
+            for t, pred in per_target.items()
+            if t in actuals
+        }
+    return out
+
+
+def strong_benchmark_record(
+    abbr: str,
+    runner: CachedRunner,
+    scale_sizes: Sequence[int] = (8, 16),
+    target_sizes: Sequence[int] = (32, 64, 128),
+) -> Dict:
+    """The artifact record for one strong-scaling benchmark."""
+    spec = STRONG_SCALING[abbr]
+    sims = {n: runner.simulate(spec, n) for n in (*scale_sizes, *target_sizes)}
+    curve = runner.miss_rate_curve(spec)
+    profile = ScaleModelProfile(
+        workload=abbr,
+        sizes=tuple(scale_sizes),
+        ipcs=tuple(sims[n].ipc for n in scale_sizes),
+        f_mem=sims[max(scale_sizes)].memory_stall_fraction,
+        curve=curve,
+    )
+    predictions = _predictions(profile, target_sizes)
+    actuals = {str(t): sims[t].ipc for t in target_sizes}
+    return {
+        "benchmark": abbr,
+        "suite": spec.suite,
+        "scenario": "strong",
+        "scale_model_ipc": {str(n): sims[n].ipc for n in scale_sizes},
+        "f_mem": profile.f_mem,
+        "miss_rate_curve": {
+            "capacities_mb": list(curve.capacities_mb),
+            "mpki": list(curve.mpki),
+        },
+        "target_ipc": actuals,
+        "predictions": predictions,
+        "errors": _errors(predictions, actuals),
+    }
+
+
+def weak_benchmark_record(
+    abbr: str,
+    runner: CachedRunner,
+    scale_sizes: Sequence[int] = (8, 16),
+    target_sizes: Sequence[int] = (32, 64, 128),
+    base_size: int = 8,
+) -> Dict:
+    """The artifact record for one weak-scaling benchmark."""
+    spec = WEAK_SCALING[abbr]
+    sims = {
+        n: runner.simulate(spec, n, work_scale=n / base_size)
+        for n in (*scale_sizes, *target_sizes)
+    }
+    profile = ScaleModelProfile(
+        workload=abbr,
+        sizes=tuple(scale_sizes),
+        ipcs=tuple(sims[n].ipc for n in scale_sizes),
+        f_mem=sims[max(scale_sizes)].memory_stall_fraction,
+    )
+    predictions = _predictions(profile, target_sizes)
+    actuals = {str(t): sims[t].ipc for t in target_sizes}
+    return {
+        "benchmark": abbr,
+        "suite": spec.suite,
+        "scenario": "weak",
+        "scale_model_ipc": {str(n): sims[n].ipc for n in scale_sizes},
+        "f_mem": profile.f_mem,
+        "target_ipc": actuals,
+        "predictions": predictions,
+        "errors": _errors(predictions, actuals),
+        "simulation_seconds": {
+            str(n): sims[n].wall_time_s for n in sims
+        },
+    }
+
+
+def configs_record() -> Dict:
+    """Table I + Table V configurations as plain data."""
+    return {
+        "monolithic": [
+            GPUConfig.paper_system(n).describe() for n in PAPER_SYSTEM_SIZES
+        ],
+        "mcm_target": McmConfig.paper_target().describe(),
+    }
+
+
+def export_artifact(
+    out_dir: str,
+    runner: Optional[CachedRunner] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    weak_benchmarks: Optional[Sequence[str]] = None,
+) -> Dict[str, int]:
+    """Write the full artifact bundle; returns file counts per section."""
+    runner = runner or CachedRunner()
+    counts = {"strong": 0, "weak": 0}
+    os.makedirs(os.path.join(out_dir, "strong"), exist_ok=True)
+    os.makedirs(os.path.join(out_dir, "weak"), exist_ok=True)
+
+    with open(os.path.join(out_dir, "configs.json"), "w") as fh:
+        json.dump(configs_record(), fh, indent=2)
+
+    summary: Dict[str, Dict] = {"strong": {}, "weak": {}}
+    for abbr in benchmarks or strong_scaling_names():
+        record = strong_benchmark_record(abbr, runner)
+        with open(os.path.join(out_dir, "strong", f"{abbr}.json"), "w") as fh:
+            json.dump(record, fh, indent=2)
+        summary["strong"][abbr] = record["errors"]
+        counts["strong"] += 1
+    for abbr in weak_benchmarks or weak_scaling_names():
+        record = weak_benchmark_record(abbr, runner)
+        with open(os.path.join(out_dir, "weak", f"{abbr}.json"), "w") as fh:
+            json.dump(record, fh, indent=2)
+        summary["weak"][abbr] = record["errors"]
+        counts["weak"] += 1
+
+    with open(os.path.join(out_dir, "summary.json"), "w") as fh:
+        json.dump(summary, fh, indent=2)
+    return counts

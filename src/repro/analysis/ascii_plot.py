@@ -1,0 +1,58 @@
+"""Minimal ASCII line plots for figure-style experiment output.
+
+The benchmark harness reproduces the paper's *figures* as data series; a
+small ASCII rendering keeps the shape visible in terminal output without a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+_MARKS = "*o+x#@%&"
+
+
+def plot_series(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+) -> str:
+    """Render named y-series over shared x values as an ASCII chart."""
+    if not series:
+        raise ValueError("no series to plot")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {name!r} length != x length")
+    all_y = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_y), max(all_y)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(x), max(x)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for __ in range(height)]
+    for idx, (name, ys) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        for xi, yi in zip(x, ys):
+            col = round((xi - x_min) / (x_max - x_min) * (width - 1))
+            row = round((yi - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    lines.append(f"{y_max:10.1f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.1f} +" + "-" * width)
+    footer = f"{x_min:<10.0f}{x_label:^{max(0, width - 10)}}{x_max:>10.0f}"
+    lines.append(" " * 12 + footer)
+    return "\n".join(lines)

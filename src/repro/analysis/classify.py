@@ -1,0 +1,54 @@
+"""Scaling-behaviour classification (Table II, rightmost column).
+
+The paper calls a workload *linear* when performance grows about
+proportionally with system size, *super-linear* when some doubling of the
+system more than doubles performance (the miss-rate-curve cliff), and
+*sub-linear* when growth falls clearly short of proportional.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import PredictionError
+from repro.workloads.spec import ScalingBehavior
+
+#: Overall IPC growth below this fraction of ideal is sub-linear.
+SUB_LINEAR_THRESHOLD = 0.78
+#: Overall IPC growth above this fraction of ideal is super-linear.
+SUPER_LINEAR_THRESHOLD = 1.15
+#: A single doubling ratio at or above this marks a cliff (super-linear).
+CLIFF_DOUBLING_RATIO = 2.35
+
+
+def classify_scaling(
+    ipcs: Sequence[float], sizes: Sequence[int]
+) -> ScalingBehavior:
+    """Classify the scaling behaviour of an IPC-versus-size profile.
+
+    ``ipcs[i]`` is the performance at ``sizes[i]``; sizes must be strictly
+    increasing and at least two points are required.
+    """
+    if len(ipcs) != len(sizes) or len(ipcs) < 2:
+        raise PredictionError(
+            f"need matching ipcs/sizes with >= 2 points, got {len(ipcs)}/{len(sizes)}"
+        )
+    if any(b <= a for a, b in zip(sizes, sizes[1:])):
+        raise PredictionError(f"sizes must be strictly increasing: {sizes}")
+    if any(x <= 0 for x in ipcs):
+        raise PredictionError("IPC values must be positive")
+
+    ideal = sizes[-1] / sizes[0]
+    normalized = (ipcs[-1] / ipcs[0]) / ideal
+    step_ratios = [
+        (ipcs[i + 1] / ipcs[i]) / (sizes[i + 1] / sizes[i]) * 2.0
+        for i in range(len(ipcs) - 1)
+    ]
+    # step_ratios are per-doubling-equivalent growth factors.
+    if max(step_ratios) >= CLIFF_DOUBLING_RATIO:
+        return ScalingBehavior.SUPER_LINEAR
+    if normalized > SUPER_LINEAR_THRESHOLD:
+        return ScalingBehavior.SUPER_LINEAR
+    if normalized < SUB_LINEAR_THRESHOLD:
+        return ScalingBehavior.SUB_LINEAR
+    return ScalingBehavior.LINEAR

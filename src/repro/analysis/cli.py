@@ -1,0 +1,117 @@
+"""Experiment command-line interface: regenerate any paper table/figure.
+
+Usage::
+
+    gpu-scale-experiments table1
+    gpu-scale-experiments fig1 --benchmarks dct,bfs,pf
+    gpu-scale-experiments fig4 --target 128
+    gpu-scale-experiments fig6
+    gpu-scale-experiments fig7
+    gpu-scale-experiments fig8
+    gpu-scale-experiments all
+
+Simulations are cached under ``results/simcache.json``; the first run of
+the heavier experiments takes minutes, repeats are instantaneous.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import experiments as exp
+from repro.analysis.runner import CachedRunner
+from repro.exceptions import ReproError
+
+EXPERIMENTS = (
+    "table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "artifact", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gpu-scale-experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument("--target", type=int, default=128,
+                        help="target size for fig4 (64 or 128)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset")
+    parser.add_argument("--cache", default="results/simcache.json")
+    parser.add_argument("--no-cache", action="store_true")
+    return parser
+
+
+def run_experiment(name: str, args, runner: CachedRunner, out) -> None:
+    benches = args.benchmarks.split(",") if args.benchmarks else None
+    if name == "table1":
+        print(exp.table1_text(), file=out)
+    elif name == "table5":
+        print(exp.table5_text(), file=out)
+    elif name == "fig1":
+        result = exp.figure1_scaling(benches or ("dct", "bfs", "pf"), runner)
+        print(result.as_text(), file=out)
+        for bench in result.benchmarks:
+            print(result.plot(bench), file=out)
+    elif name == "fig2":
+        print(exp.figure2_miss_rate_curves(
+            benches or ("dct", "bfs", "pf"), runner).as_text(), file=out)
+    elif name == "fig4":
+        result = exp.figure4_strong_accuracy(
+            args.target, benchmarks=benches, runner=runner
+        )
+        print(result.as_text(), file=out)
+    elif name == "fig5":
+        print(exp.figure5_prediction_curves(
+            benches or exp.FIG5_BENCHMARKS, runner).as_text(), file=out)
+    elif name == "fig6":
+        for target, result in exp.figure6_weak_accuracy(runner=runner).items():
+            print(result.as_text(), file=out)
+            print(file=out)
+    elif name == "fig7":
+        print(exp.figure7_speedup(runner).as_text(), file=out)
+    elif name == "fig8":
+        print(exp.figure8_mcm_accuracy(runner).as_text(), file=out)
+    elif name == "artifact":
+        from repro.analysis.artifact import export_artifact
+
+        counts = export_artifact("results/artifact", runner=runner)
+        print(
+            f"artifact bundle written to results/artifact "
+            f"({counts['strong']} strong + {counts['weak']} weak benchmarks)",
+            file=out,
+        )
+    else:
+        raise ReproError(f"unknown experiment {name!r}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = CachedRunner(None if args.no_cache else args.cache)
+    names = (
+        ["table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6",
+         "fig7", "fig8", "artifact"]
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    try:
+        for name in names:
+            if name == "fig4" and args.experiment == "all":
+                for target in (64, 128):
+                    result = exp.figure4_strong_accuracy(target, runner=runner)
+                    print(result.as_text())
+                    print()
+                continue
+            run_experiment(name, args, runner, sys.stdout)
+            print()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

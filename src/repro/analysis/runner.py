@@ -1,0 +1,179 @@
+"""Cached simulation running for the experiment harness.
+
+Every table/figure of the paper reuses the same underlying runs (scale
+models, targets, miss-rate curves).  On a single-core host those runs are
+the dominant cost, so :class:`CachedRunner` memoizes them on disk keyed by
+a digest of the benchmark spec, the scenario and the system configuration;
+editing a generator parameter in the catalog automatically invalidates the
+affected entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, Optional
+
+from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
+from repro.gpu.results import SimulationResult
+from repro.mrc import MissRateCurve, collect_miss_rate_curve
+from repro.workloads import get_benchmark, build_trace
+from repro.workloads.spec import BenchmarkSpec
+
+DEFAULT_CACHE = os.path.join("results", "simcache.json")
+
+
+def _spec_digest(spec: BenchmarkSpec, extra: str = "") -> str:
+    payload = repr(
+        (
+            spec.abbr,
+            spec.family,
+            sorted(spec.params.items()),
+            [(k.num_ctas, k.threads_per_cta) for k in spec.kernels],
+            spec.footprint_mb,
+            extra,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _config_digest(config) -> str:
+    return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+
+
+class CachedRunner:
+    """Runs (and memoizes) timing simulations and MRC collections."""
+
+    def __init__(self, cache_path: Optional[str] = DEFAULT_CACHE) -> None:
+        self.cache_path = cache_path
+        self._cache: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_path and os.path.exists(cache_path):
+            with open(cache_path) as fh:
+                self._cache = json.load(fh)
+
+    # --- persistence ----------------------------------------------------------
+    def _save(self) -> None:
+        if not self.cache_path:
+            return
+        directory = os.path.dirname(self.cache_path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = self.cache_path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(self._cache, fh)
+        os.replace(tmp, self.cache_path)
+
+    # --- timing runs ------------------------------------------------------------
+    def simulate(
+        self,
+        spec: BenchmarkSpec,
+        num_sms: int,
+        work_scale: float = 1.0,
+        seed: int = 0,
+    ) -> SimulationResult:
+        config = GPUConfig.paper_baseline().scaled(num_sms)
+        key = "|".join(
+            (
+                "sim",
+                _spec_digest(spec, f"w={work_scale},seed={seed}"),
+                _config_digest(config),
+            )
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return SimulationResult(**cached)
+        self.misses += 1
+        trace = build_trace(
+            spec,
+            work_scale=work_scale,
+            capacity_scale=config.capacity_scale,
+            seed=seed,
+        )
+        result = simulate(config, trace)
+        self._cache[key] = asdict(result)
+        self._save()
+        return result
+
+    def simulate_mcm(
+        self,
+        spec: BenchmarkSpec,
+        num_chiplets: int,
+        work_scale: float,
+        seed: int = 0,
+    ) -> SimulationResult:
+        config = McmConfig.paper_target().scaled(num_chiplets)
+        key = "|".join(
+            (
+                "mcm",
+                _spec_digest(spec, f"w={work_scale},seed={seed}"),
+                _config_digest(config),
+            )
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return SimulationResult(**cached)
+        self.misses += 1
+        trace = build_trace(
+            spec,
+            work_scale=work_scale,
+            capacity_scale=config.chiplet.capacity_scale,
+            seed=seed,
+        )
+        result = simulate_mcm(config, trace)
+        self._cache[key] = asdict(result)
+        self._save()
+        return result
+
+    # --- miss-rate curves ------------------------------------------------------
+    def miss_rate_curve(
+        self,
+        spec: BenchmarkSpec,
+        work_scale: float = 1.0,
+        method: str = "stack",
+        seed: int = 0,
+    ) -> MissRateCurve:
+        config = GPUConfig.paper_baseline()
+        key = "|".join(
+            (
+                "mrc",
+                _spec_digest(spec, f"w={work_scale},m={method},seed={seed}"),
+                _config_digest(config),
+            )
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return MissRateCurve(
+                workload=cached["workload"],
+                capacities_bytes=tuple(cached["capacities_bytes"]),
+                mpki=tuple(cached["mpki"]),
+                miss_ratio=tuple(cached["miss_ratio"]),
+                metadata=cached["metadata"],
+            )
+        self.misses += 1
+        trace = build_trace(
+            spec,
+            work_scale=work_scale,
+            capacity_scale=config.capacity_scale,
+            seed=seed,
+        )
+        curve = collect_miss_rate_curve(trace, config=config, method=method)
+        self._cache[key] = {
+            "workload": curve.workload,
+            "capacities_bytes": list(curve.capacities_bytes),
+            "mpki": list(curve.mpki),
+            "miss_ratio": list(curve.miss_ratio),
+            "metadata": curve.metadata,
+        }
+        self._save()
+        return curve
+
+    def clear(self) -> None:
+        self._cache.clear()
+        self._save()

@@ -1,0 +1,63 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    Cells are stringified; columns are left-aligned except cells that look
+    numeric, which are right-aligned.
+    """
+    str_rows: List[List[str]] = [[_fmt(c) for c in row] for row in rows]
+    columns = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != columns:
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {columns}"
+            )
+    widths = [
+        max(len(headers[c]), max((len(r[c]) for r in str_rows), default=0))
+        for c in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        cells = []
+        for c, cell in enumerate(row):
+            if _is_numeric(cell):
+                cells.append(cell.rjust(widths[c]))
+            else:
+                cells.append(cell.ljust(widths[c]))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def _is_numeric(text: str) -> bool:
+    stripped = text.replace("%", "").replace("x", "").strip()
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True
+
+
+def render_percent(value: float) -> str:
+    """0.042 -> '4.2%'."""
+    return f"{100 * value:.1f}%"

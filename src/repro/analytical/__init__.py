@@ -1,0 +1,24 @@
+"""First-order analytical GPU performance model (cross-check substrate).
+
+The paper positions scale-model simulation against analytical modeling
+(Section VIII cites Hong & Kim, GPUMech, GCoM).  This package provides a
+small white-box bound model in that tradition: given a system
+configuration and workload summary statistics, it computes the
+issue/latency/NoC/DRAM throughput bounds and predicts IPC as their
+minimum — useful as an independent sanity check on the timing simulator
+and as a teaching artifact for *why* a workload lands in a scaling class.
+"""
+
+from repro.analytical.bounds import (
+    AnalyticalEstimate,
+    WorkloadStats,
+    analyze,
+    stats_from_result,
+)
+
+__all__ = [
+    "AnalyticalEstimate",
+    "WorkloadStats",
+    "analyze",
+    "stats_from_result",
+]

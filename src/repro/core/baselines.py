@@ -1,0 +1,156 @@
+"""Baseline prediction methods the paper compares against (Section VII).
+
+* **proportional scaling** — target performance is ``S`` times the scale
+  model that is ``S`` times smaller;
+* **linear regression** — ``y = a*x + b`` fitted to the scale models;
+* **power-law regression** — ``y = a * x**b``;
+* **logarithmic regression** — ``y = a * log2(x)``, the model prior CPU
+  scale-model work [46] found best for multi-program CPU workloads and
+  the paper includes as the prior-art baseline.
+
+All fits use least squares over however many scale-model points are
+supplied (two, in the paper's setup, which makes linear and power-law
+fits exact interpolations).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence, Type
+
+import numpy as np
+
+from repro.exceptions import PredictionError
+
+
+class BaselinePredictor:
+    """Base class: fit on scale-model (size, ipc) points, then predict."""
+
+    name = "baseline"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    def fit(self, sizes: Sequence[int], ipcs: Sequence[float]) -> "BaselinePredictor":
+        if len(sizes) != len(ipcs):
+            raise PredictionError("sizes and ipcs must have equal length")
+        if len(sizes) < self.min_points():
+            raise PredictionError(
+                f"{self.name}: needs >= {self.min_points()} points, got {len(sizes)}"
+            )
+        if any(s <= 0 for s in sizes) or any(i <= 0 for i in ipcs):
+            raise PredictionError(f"{self.name}: sizes and IPCs must be positive")
+        self._fit(np.asarray(sizes, dtype=float), np.asarray(ipcs, dtype=float))
+        self._fitted = True
+        return self
+
+    def predict(self, size: int) -> float:
+        if not self._fitted:
+            raise PredictionError(f"{self.name}: predict() before fit()")
+        if size <= 0:
+            raise PredictionError(f"{self.name}: size must be positive")
+        value = self._predict(float(size))
+        if not math.isfinite(value):
+            raise PredictionError(f"{self.name}: non-finite prediction at {size}")
+        return value
+
+    # --- subclass hooks ------------------------------------------------------
+    def min_points(self) -> int:
+        return 2
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def _predict(self, x: float) -> float:
+        raise NotImplementedError
+
+
+class ProportionalScaling(BaselinePredictor):
+    """Performance scales exactly with system size from the largest model."""
+
+    name = "proportional"
+
+    def min_points(self) -> int:
+        return 1
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._anchor_size = float(x[-1])
+        self._anchor_ipc = float(y[-1])
+
+    def _predict(self, x: float) -> float:
+        return self._anchor_ipc * x / self._anchor_size
+
+
+class LinearRegression(BaselinePredictor):
+    """Least-squares fit of ``y = a*x + b``."""
+
+    name = "linear"
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._a, self._b = np.polyfit(x, y, 1)
+
+    def _predict(self, x: float) -> float:
+        return self._a * x + self._b
+
+
+class PowerLawRegression(BaselinePredictor):
+    """Least-squares fit of ``y = a * x**b`` (linear in log-log space)."""
+
+    name = "power-law"
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        self._b, log_a = np.polyfit(np.log(x), np.log(y), 1)
+        self._a = math.exp(log_a)
+
+    def _predict(self, x: float) -> float:
+        return self._a * x**self._b
+
+
+class LogarithmicRegression(BaselinePredictor):
+    """Least-squares fit of ``y = a * log2(x)`` (the prior-work CPU model)."""
+
+    name = "logarithmic"
+
+    def min_points(self) -> int:
+        return 1
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> None:
+        logs = np.log2(x)
+        denom = float(np.dot(logs, logs))
+        if denom == 0.0:
+            raise PredictionError(
+                "logarithmic regression is undefined for a single size-1 model"
+            )
+        self._a = float(np.dot(logs, y) / denom)
+
+    def _predict(self, x: float) -> float:
+        return self._a * math.log2(x)
+
+
+_REGISTRY: Dict[str, Type[BaselinePredictor]] = {
+    cls.name: cls
+    for cls in (
+        ProportionalScaling,
+        LinearRegression,
+        PowerLawRegression,
+        LogarithmicRegression,
+    )
+}
+
+#: All method names reported in the paper's figures, in plot order.
+METHOD_NAMES = (
+    "logarithmic",
+    "proportional",
+    "linear",
+    "power-law",
+    "scale-model",
+)
+
+
+def make_predictor(name: str) -> BaselinePredictor:
+    """Instantiate a baseline predictor by name."""
+    if name not in _REGISTRY:
+        raise PredictionError(
+            f"unknown baseline {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]()

@@ -1,0 +1,147 @@
+"""Multi-cliff scale-model prediction (the paper's future-work sketch).
+
+Section V-D: *"a workload may potentially exhibit multiple cliffs, as
+different sets of the data set progressively fit inside the various cache
+levels ... [this] could possibly be accounted for by estimating how each
+cliff individually affects the respective memory stall fraction."*
+
+This module implements that sketch.  The capacity axis is walked one
+doubling at a time from the largest scale model to the target:
+
+* a **pre/post-cliff step** multiplies performance by ``2 * C`` — the
+  per-workload correction factor of Eq. 1 applied per doubling, which for
+  a single step is exactly the paper's Eq. 2/Eq. 4 treatment;
+* a **cliff step** multiplies performance by ``2 / (1 - f_mem * w_i)``
+  where ``w_i`` is cliff *i*'s share of the total MPKI reduction — each
+  cliff individually removes its share of the measured memory stall.
+  With one cliff (``w = 1``) the walk reproduces Eqs. 2-4 exactly.
+
+The walker degrades gracefully: with no cliffs anywhere it equals the
+single-cliff predictor's pre-cliff chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.profile import ScaleModelProfile
+from repro.exceptions import PredictionError
+from repro.mrc.cliff import CLIFF_DROP_THRESHOLD, NEGLIGIBLE_MPKI
+from repro.mrc.curve import MissRateCurve
+
+
+@dataclass(frozen=True)
+class CliffStep:
+    """One qualifying miss-rate drop on the capacity axis."""
+
+    step_index: int          # drop between capacities [i] and [i+1]
+    capacity_before: int
+    capacity_after: int
+    mpki_before: float
+    mpki_after: float
+
+    @property
+    def mpki_drop(self) -> float:
+        return self.mpki_before - self.mpki_after
+
+
+def find_all_cliffs(
+    curve: MissRateCurve, threshold: float = CLIFF_DROP_THRESHOLD
+) -> List[CliffStep]:
+    """Every step whose MPKI shrinks by more than ``threshold``."""
+    if threshold <= 1.0:
+        raise PredictionError(f"threshold must exceed 1.0, got {threshold}")
+    cliffs = []
+    for i, ratio in enumerate(curve.drop_ratios()):
+        if curve.mpki[i] <= NEGLIGIBLE_MPKI:
+            continue
+        if ratio > threshold:
+            cliffs.append(
+                CliffStep(
+                    step_index=i,
+                    capacity_before=curve.capacities_bytes[i],
+                    capacity_after=curve.capacities_bytes[i + 1],
+                    mpki_before=curve.mpki[i],
+                    mpki_after=curve.mpki[i + 1],
+                )
+            )
+    return cliffs
+
+
+class MultiCliffPredictor:
+    """Chained per-doubling prediction handling any number of cliffs."""
+
+    def __init__(
+        self,
+        profile: ScaleModelProfile,
+        capacity_per_unit: Optional[float] = None,
+        threshold: float = CLIFF_DROP_THRESHOLD,
+    ) -> None:
+        if profile.curve is None:
+            raise PredictionError(
+                "multi-cliff prediction needs a miss-rate curve"
+            )
+        self.profile = profile
+        self.curve = profile.curve
+        self.cliffs = find_all_cliffs(self.curve, threshold)
+        if capacity_per_unit is None:
+            capacity_per_unit = (
+                self.curve.capacities_bytes[0] / profile.sizes[0]
+            )
+        self.capacity_per_unit = capacity_per_unit
+        total_drop = sum(c.mpki_drop for c in self.cliffs)
+        self._stall_share: Dict[int, float] = {}
+        for cliff in self.cliffs:
+            self._stall_share[cliff.step_index] = (
+                cliff.mpki_drop / total_drop if total_drop > 0 else 0.0
+            )
+
+    def stall_share(self, cliff: CliffStep) -> float:
+        """Cliff's share ``w_i`` of the total MPKI reduction."""
+        return self._stall_share[cliff.step_index]
+
+    def _step_of_size(self, size: int) -> int:
+        """Index of the sampled capacity belonging to a system size."""
+        capacity = round(self.capacity_per_unit * size)
+        caps = self.curve.capacities_bytes
+        for i, cap in enumerate(caps):
+            if abs(cap - capacity) <= max(1, cap // 50):
+                return i
+        raise PredictionError(
+            f"size {size} maps to capacity {capacity}, which is not a "
+            f"sampled point of the miss-rate curve {caps}"
+        )
+
+    def predict(self, target_size: int) -> Tuple[float, List[str]]:
+        """Predicted IPC plus a human-readable step log."""
+        profile = self.profile
+        large_size, ipc = profile.largest
+        if target_size < large_size:
+            raise PredictionError(
+                f"target ({target_size}) must be at least the largest "
+                f"scale model ({large_size})"
+            )
+        f_mem = profile.f_mem
+        correction = profile.correction_factor()
+        start = self._step_of_size(large_size)
+        end = self._step_of_size(target_size)
+        cliff_at = {c.step_index: c for c in self.cliffs}
+        log: List[str] = []
+        for step in range(start, end):
+            cliff = cliff_at.get(step)
+            if cliff is not None:
+                if f_mem is None:
+                    raise PredictionError(
+                        f"{profile.workload}: crossing a cliff requires f_mem"
+                    )
+                share = self.stall_share(cliff)
+                relief = 1.0 / (1.0 - f_mem * share)
+                ipc *= 2.0 * relief
+                log.append(
+                    f"step {step}: cliff (w={share:.2f}) -> x2 x{relief:.2f}"
+                )
+            else:
+                ipc *= 2.0 * correction
+                log.append(f"step {step}: smooth -> x2 x{correction:.2f}")
+        return ipc, log

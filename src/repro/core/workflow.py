@@ -1,0 +1,164 @@
+"""The end-to-end scale-model simulation workflow (Figure 3).
+
+Strong scaling: simulate the two scale models (detailed timing), collect
+the miss-rate curve (functional, one-time cost), predict every target.
+Weak scaling: simulate the scale models with proportionally scaled inputs;
+no miss-rate curve is needed because the working set scales with the
+system and no cliff can occur.
+
+The heavy steps are injected as callables so callers can swap in cached
+runners (see :mod:`repro.analysis.runner`) or fakes in tests:
+
+* ``simulate_fn(num_sms, work_scale) -> SimulationResult``
+* ``mrc_fn() -> MissRateCurve``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.core.baselines import METHOD_NAMES, make_predictor
+from repro.core.model import ScaleModelPredictor
+from repro.core.profile import ScaleModelProfile
+from repro.exceptions import PredictionError
+from repro.gpu import GPUConfig, simulate
+from repro.gpu.results import SimulationResult
+from repro.mrc import MissRateCurve, collect_miss_rate_curve
+from repro.workloads import build_trace
+from repro.workloads.spec import BenchmarkSpec
+
+
+@dataclass
+class ScaleModelStudy:
+    """All predictions (every method) for one workload and scenario."""
+
+    workload: str
+    scenario: str
+    scale_sizes: Sequence[int]
+    target_sizes: Sequence[int]
+    profile: ScaleModelProfile
+    predictions: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    actuals: Dict[int, float] = field(default_factory=dict)
+
+    def errors(self, method: str) -> Dict[int, float]:
+        """Relative errors per target size (requires actuals)."""
+        if method not in self.predictions:
+            raise PredictionError(
+                f"{self.workload}: no predictions for {method!r}"
+            )
+        if not self.actuals:
+            raise PredictionError(f"{self.workload}: no actuals recorded")
+        out = {}
+        for size, predicted in self.predictions[method].items():
+            actual = self.actuals.get(size)
+            if actual is None:
+                continue
+            out[size] = abs(predicted - actual) / actual
+        return out
+
+
+def _default_simulate(spec: BenchmarkSpec, scenario: str) -> Callable:
+    def run(num_sms: int, work_scale: float) -> SimulationResult:
+        config = GPUConfig.paper_system(num_sms)
+        trace = build_trace(
+            spec, work_scale=work_scale, capacity_scale=config.capacity_scale
+        )
+        return simulate(config, trace)
+
+    return run
+
+
+def _run_all_methods(
+    profile: ScaleModelProfile,
+    target_sizes: Sequence[int],
+) -> Dict[str, Dict[int, float]]:
+    predictions: Dict[str, Dict[int, float]] = {}
+    scale_model = ScaleModelPredictor(profile)
+    predictions["scale-model"] = {
+        t: scale_model.predict(t).ipc for t in target_sizes
+    }
+    for name in METHOD_NAMES:
+        if name == "scale-model":
+            continue
+        baseline = make_predictor(name).fit(profile.sizes, profile.ipcs)
+        predictions[name] = {t: baseline.predict(t) for t in target_sizes}
+    return predictions
+
+
+def predict_strong_scaling(
+    spec: BenchmarkSpec,
+    scale_sizes: Sequence[int] = (8, 16),
+    target_sizes: Sequence[int] = (32, 64, 128),
+    simulate_fn: Optional[Callable] = None,
+    mrc_fn: Optional[Callable] = None,
+    include_actuals: bool = True,
+) -> ScaleModelStudy:
+    """Run the full strong-scaling workflow for one benchmark."""
+    if max(scale_sizes) > min(target_sizes):
+        raise PredictionError(
+            f"scale models {scale_sizes} must be smaller than targets {target_sizes}"
+        )
+    run = simulate_fn or _default_simulate(spec, "strong")
+    results = {n: run(n, 1.0) for n in scale_sizes}
+    if mrc_fn is None:
+        config = GPUConfig.paper_baseline()
+        trace = build_trace(spec, capacity_scale=config.capacity_scale)
+        curve = collect_miss_rate_curve(trace, config=config)
+    else:
+        curve = mrc_fn()
+    largest = max(scale_sizes)
+    profile = ScaleModelProfile(
+        workload=spec.abbr,
+        sizes=tuple(sorted(scale_sizes)),
+        ipcs=tuple(results[n].ipc for n in sorted(scale_sizes)),
+        f_mem=results[largest].memory_stall_fraction,
+        curve=curve,
+    )
+    study = ScaleModelStudy(
+        workload=spec.abbr,
+        scenario="strong",
+        scale_sizes=tuple(scale_sizes),
+        target_sizes=tuple(target_sizes),
+        profile=profile,
+        predictions=_run_all_methods(profile, target_sizes),
+    )
+    if include_actuals:
+        for t in target_sizes:
+            study.actuals[t] = run(t, 1.0).ipc
+    return study
+
+
+def predict_weak_scaling(
+    spec: BenchmarkSpec,
+    scale_sizes: Sequence[int] = (8, 16),
+    target_sizes: Sequence[int] = (32, 64, 128),
+    base_size: int = 8,
+    simulate_fn: Optional[Callable] = None,
+    include_actuals: bool = True,
+) -> ScaleModelStudy:
+    """Run the weak-scaling workflow: inputs scale with system size and
+    the miss-rate curve is unnecessary (pre-cliff by construction)."""
+    if not spec.weak_scalable:
+        raise PredictionError(f"{spec.abbr} has no weak-scaling inputs")
+    run = simulate_fn or _default_simulate(spec, "weak")
+    results = {n: run(n, n / base_size) for n in scale_sizes}
+    profile = ScaleModelProfile(
+        workload=spec.abbr,
+        sizes=tuple(sorted(scale_sizes)),
+        ipcs=tuple(results[n].ipc for n in sorted(scale_sizes)),
+        f_mem=results[max(scale_sizes)].memory_stall_fraction,
+        curve=None,
+    )
+    study = ScaleModelStudy(
+        workload=spec.abbr,
+        scenario="weak",
+        scale_sizes=tuple(scale_sizes),
+        target_sizes=tuple(target_sizes),
+        profile=profile,
+        predictions=_run_all_methods(profile, target_sizes),
+    )
+    if include_actuals:
+        for t in target_sizes:
+            study.actuals[t] = run(t, t / base_size).ipc
+    return study

@@ -1,0 +1,105 @@
+"""Event and event-queue primitives for the simulation kernel.
+
+Heap entries are plain lists ``[time, seq, callback, args]`` so ordering
+comparisons run in C (tuple/list lexicographic compare); the unique ``seq``
+guarantees the comparison never reaches the callback and gives
+deterministic FIFO ordering among same-time events.  :class:`Event` is a
+thin handle wrapping the entry, kept for cancellation and introspection.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+_TIME = 0
+_SEQ = 1
+_CALLBACK = 2
+_ARGS = 3
+
+
+class Event:
+    """Handle to a scheduled callback; supports cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: list) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        return self._entry[_TIME]
+
+    @property
+    def seq(self) -> int:
+        return self._entry[_SEQ]
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry[_CALLBACK] is None
+
+    def cancel(self) -> None:
+        """Mark the event dead; the queue drops it instead of firing it."""
+        self._entry[_CALLBACK] = None
+        self._entry[_ARGS] = ()
+
+    def fire(self) -> None:
+        callback = self._entry[_CALLBACK]
+        if callback is not None:
+            callback(*self._entry[_ARGS])
+
+
+class EventQueue:
+    """A deterministic min-heap of scheduled callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: List[list] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute ``time``; return a handle."""
+        entry = [time, self._seq, callback, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+        return Event(entry)
+
+    def pop_entry(self) -> Optional[Tuple[float, Callable[..., None], tuple]]:
+        """Remove and return ``(time, callback, args)`` of the earliest live
+        event, or ``None`` when the queue is empty."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            callback = entry[_CALLBACK]
+            if callback is not None:
+                return entry[_TIME], callback, entry[_ARGS]
+        return None
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest live event, or ``None`` when empty."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[_CALLBACK] is not None:
+                return Event(entry)
+        return None
+
+    def push_entry(self, time: float, callback: Callable[..., None], args: tuple) -> None:
+        """Re-insert a popped entry (used when a run stops at a horizon)."""
+        entry = [time, self._seq, callback, args]
+        self._seq += 1
+        heapq.heappush(self._heap, entry)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event without removing it."""
+        heap = self._heap
+        while heap and heap[0][_CALLBACK] is None:
+            heapq.heappop(heap)
+        if not heap:
+            return None
+        return heap[0][_TIME]
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,94 @@
+"""The simulation kernel: clock plus event loop."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.engine.event import Event, EventQueue
+from repro.exceptions import SimulationError
+
+
+class SimulationKernel:
+    """A discrete-event simulation clock.
+
+    The kernel owns the global clock (in cycles, as a float so fractional
+    service times compose without rounding drift) and the event queue.
+    Model components schedule callbacks with :meth:`schedule` (relative
+    delay) or :meth:`schedule_at` (absolute time) and the loop in
+    :meth:`run` fires them in deterministic time order.
+    """
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    # --- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far; a deterministic work proxy."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # --- scheduling ------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback`` to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback`` at absolute ``time`` cycles."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        return self._queue.push(time, callback, *args)
+
+    # --- execution ------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Fire events until the queue drains, ``until`` passes, or
+        ``max_events`` have been processed this call.
+
+        ``until`` is inclusive: an event at exactly ``until`` still fires.
+        """
+        self._running = True
+        fired = 0
+        queue = self._queue
+        try:
+            while self._running:
+                if max_events is not None and fired >= max_events:
+                    break
+                popped = queue.pop_entry()
+                if popped is None:
+                    break
+                time, callback, args = popped
+                if until is not None and time > until:
+                    queue.push_entry(time, callback, args)
+                    self._now = until
+                    break
+                self._now = time
+                callback(*args)
+                self._events_processed += 1
+                fired += 1
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current event."""
+        self._running = False
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

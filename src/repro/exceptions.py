@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this code base derives from
+:class:`ReproError`, so callers can catch package failures without
+swallowing genuine bugs (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A system configuration is inconsistent or cannot be derived."""
+
+
+class SimulationError(ReproError):
+    """The timing simulator reached an invalid state."""
+
+
+class TraceError(ReproError):
+    """A workload trace is malformed or cannot be generated."""
+
+
+class PredictionError(ReproError):
+    """The scale-model predictor received inputs it cannot use."""
+
+
+class WorkloadError(ReproError):
+    """An unknown benchmark or an unsupported workload configuration."""

@@ -1,0 +1,45 @@
+"""GPU timing-simulator substrate (the Accel-Sim stand-in).
+
+The paper collects scale-model performance profiles with Accel-Sim; this
+package provides the equivalent substrate in pure Python: an event-driven
+GPU timing model with
+
+* streaming multiprocessors (SMs) holding resident CTAs and warps, a
+  greedy-then-oldest-flavoured issue model and round-robin CTA scheduling
+  (:mod:`repro.gpu.sm`, :mod:`repro.gpu.cta`);
+* per-SM L1 caches with MSHR merging, an address-sliced set-associative
+  shared LLC, a crossbar NoC and DRAM channels modelled as bandwidth
+  resources (:mod:`repro.gpu.cache`, :mod:`repro.gpu.memory`);
+* proportional-resource-scaling configuration (Tables I, III and V of the
+  paper) in :mod:`repro.gpu.config`;
+* a multi-chiplet (MCM) GPU with inter-chiplet links and first-touch page
+  placement (:mod:`repro.gpu.chiplet`).
+
+The headline outputs per run are aggregate IPC (thread instructions per
+cycle) and the memory-stall fraction ``f_mem`` that the paper's cliff
+formula (Eq. 3) consumes.
+"""
+
+from repro.gpu.config import (
+    PAPER_SCALE_MODEL_SIZES,
+    PAPER_SYSTEM_SIZES,
+    PAPER_TARGET_SIZES,
+    GPUConfig,
+    McmConfig,
+)
+from repro.gpu.gpu import GPUSimulator, simulate
+from repro.gpu.chiplet import McmSimulator, simulate_mcm
+from repro.gpu.results import SimulationResult
+
+__all__ = [
+    "GPUConfig",
+    "McmConfig",
+    "GPUSimulator",
+    "McmSimulator",
+    "SimulationResult",
+    "simulate",
+    "simulate_mcm",
+    "PAPER_SYSTEM_SIZES",
+    "PAPER_SCALE_MODEL_SIZES",
+    "PAPER_TARGET_SIZES",
+]

@@ -1,0 +1,253 @@
+"""The shared memory subsystem: L1s, NoC, sliced LLC and DRAM channels.
+
+The subsystem resolves one warp-level memory access analytically: given the
+issue time, it walks the resource chain (L1 → NoC → LLC slice → memory
+controller → NoC) and returns the completion time.  Because the simulation
+kernel delivers accesses in global time order, the FIFO next-free-time
+bookkeeping in each resource is an exact queueing model.
+
+Structure per the paper's Table III:
+
+* one L1 per SM (never scaled), with MSHR merging of in-flight lines;
+* a crossbar NoC modelled by its bisection bandwidth, with *separate
+  request and response channels* (as in real GPU interconnects, and
+  necessary here so that a response booked far in the future never blocks
+  an earlier request — each channel sees near-time-ordered arrivals);
+* the LLC split into address-interleaved slices, each with a tag-pipeline
+  throughput server — concurrent accesses to the same slice serialize,
+  which is the "camping" congestion mechanism the paper cites for
+  sub-linear scaling;
+* one bandwidth server per memory controller; lines map to MCs by address
+  interleaving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.resource import BandwidthResource, FifoServer, TokenPool
+from repro.gpu.cache import SetAssocCache
+from repro.gpu.config import GPUConfig
+from repro.gpu.dram import BankedDram
+from repro.memory_regions import BYPASS_BASE
+
+#: Result tags for where an access was served.
+L1_HIT = 0
+LLC_HIT = 1
+DRAM = 2
+MERGED = 3
+
+
+class L1Cache:
+    """Per-SM L1 with an MSHR file and in-flight miss merging."""
+
+    def __init__(self, config: GPUConfig, sm_id: int) -> None:
+        self.cache = SetAssocCache(
+            num_sets=config.l1_sets,
+            assoc=config.l1_assoc,
+            name=f"l1-sm{sm_id}",
+        )
+        self.mshrs = TokenPool(config.l1_mshrs, name=f"mshr-sm{sm_id}")
+        self.in_flight: Dict[int, float] = {}
+        self.merged = 0
+
+    def prune_in_flight(self, now: float) -> None:
+        """Drop completed fills from the merge table (called sparingly)."""
+        done = [line for line, t in self.in_flight.items() if t <= now]
+        for line in done:
+            del self.in_flight[line]
+
+
+class MemorySubsystem:
+    """All shared memory resources of one (monolithic) GPU."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.l1s: List[L1Cache] = [L1Cache(config, i) for i in range(config.num_sms)]
+        self.noc_request = BandwidthResource(
+            config.noc_bytes_per_cycle, name="noc-req"
+        )
+        self.noc_response = BandwidthResource(
+            config.noc_bytes_per_cycle, name="noc-rsp"
+        )
+        sets = config.llc_sets_per_slice
+        self.llc_slices: List[SetAssocCache] = [
+            SetAssocCache(sets, config.llc_assoc, name=f"llc-slice{i}")
+            for i in range(config.llc_slices)
+        ]
+        self.llc_ports: List[FifoServer] = [
+            FifoServer(name=f"llc-port{i}") for i in range(config.llc_slices)
+        ]
+        self.mcs: List[BandwidthResource] = [
+            BandwidthResource(config.mc_bytes_per_cycle, name=f"mc{i}")
+            for i in range(config.num_mcs)
+        ]
+        self.banked_mcs: List[BankedDram] = (
+            [
+                BankedDram(
+                    config.mc_bytes_per_cycle,
+                    line_size=config.line_size,
+                    name=f"mc{i}",
+                )
+                for i in range(config.num_mcs)
+            ]
+            if config.dram_model == "banked"
+            else []
+        )
+        self._slice_service = 1.0 / config.llc_slice_throughput
+        self._line_size = config.line_size
+        self._request_bytes = config.noc_request_bytes
+        self._noc_latency = config.effective_noc_latency
+        # Deterministic LCG driving per-access latency jitter (see
+        # GPUConfig.latency_jitter): reproducible, yet decorrelates warps.
+        self._rng_state = 0x9E3779B97F4A7C15
+        self._jitter = config.latency_jitter
+        # Aggregate counters.
+        self.l1_hits = 0
+        self.l1_misses = 0
+        self.llc_hits = 0
+        self.llc_misses = 0
+        self.merged = 0
+        self._prune_countdown = 4096
+
+    def _jitter_factor(self) -> float:
+        """Next latency multiplier in [1 - j, 1 + j] from the LCG."""
+        if self._jitter == 0.0:
+            return 1.0
+        self._rng_state = (self._rng_state * 6364136223846793005 + 1442695040888963407) & 0xFFFFFFFFFFFFFFFF
+        u = (self._rng_state >> 11) / float(1 << 53)
+        return 1.0 + self._jitter * (2.0 * u - 1.0)
+
+    # --- address mapping -------------------------------------------------
+    # Lines are hashed before interleaving (as real GPU memory systems
+    # hash channel/slice selection): plain modulo lets strided streams
+    # phase-lock onto one controller at a time — every warp walking lines
+    # 4g..4g+3 hits MC (k mod 4) in lockstep at the 4-controller size,
+    # which serializes the whole machine at that size only.
+    @staticmethod
+    def hash_line(line: int) -> int:
+        h = (line * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        return h >> 20
+
+    def slice_for(self, line: int) -> int:
+        return self.hash_line(line) % len(self.llc_slices)
+
+    def mc_for(self, line: int) -> int:
+        return self.hash_line(line) % len(self.mcs)
+
+    def warm_lines(self, base: int, count: int) -> None:
+        """Pre-fill the LLC slices with ``count`` lines starting at ``base``
+        (no latency, no statistics) — steady-state warm-up."""
+        slices = self.llc_slices
+        n = len(slices)
+        for line in range(base, base + count):
+            if line >= BYPASS_BASE:
+                continue
+            slices[self.hash_line(line) % n].fill(line)
+
+    # --- the access path ----------------------------------------------------
+    def access(self, sm_id: int, line: int, now: float) -> Tuple[float, int]:
+        """Resolve one warp memory access to ``line`` issued at ``now``.
+
+        Returns ``(completion_time, where)`` with ``where`` one of
+        :data:`L1_HIT`, :data:`LLC_HIT`, :data:`DRAM`, :data:`MERGED`.
+        """
+        config = self.config
+        l1 = self.l1s[sm_id]
+        if l1.cache.access(line):
+            self.l1_hits += 1
+            return now + config.l1_hit_latency, L1_HIT
+        self.l1_misses += 1
+
+        # Merge with an in-flight miss to the same line (secondary miss):
+        # no new NoC/LLC/DRAM traffic, data arrives with the primary.
+        pending = l1.in_flight.get(line)
+        if pending is not None and pending > now:
+            l1.merged += 1
+            self.merged += 1
+            return pending, MERGED
+
+        # Primary miss: take an MSHR, cross the NoC, probe the LLC slice.
+        t = l1.mshrs.acquire(now) + config.l1_hit_latency
+        t = self.noc_request.transfer(t, self._request_bytes) + self._noc_latency
+        t, where = self.llc_dram_path(line, t)
+        # Response line crosses the NoC back to the SM.
+        t = self.noc_response.transfer(t, self._line_size) + self._noc_latency
+        l1.in_flight[line] = t
+        l1.mshrs.hold(t)
+        self._prune_countdown -= 1
+        if self._prune_countdown <= 0:
+            self._prune_countdown = 4096
+            l1.prune_in_flight(now)
+        return t, where
+
+    def llc_dram_path(self, line: int, t: float) -> Tuple[float, int]:
+        """LLC slice probe plus DRAM on a miss; the post-NoC leg of a request.
+
+        Exposed separately so the multi-chiplet model can route a remote
+        request into its *home* chiplet's LLC/DRAM after crossing the
+        inter-chiplet network.
+        """
+        config = self.config
+        hashed = self.hash_line(line)
+        slice_id = hashed % len(self.llc_slices)
+        t = self.llc_ports[slice_id].service(t, self._slice_service)
+        if line >= BYPASS_BASE:
+            # No-allocate streaming hint: never cached in the LLC.
+            self.llc_misses += 1
+            return self._dram_access(hashed, line, t), DRAM
+        hit = self.llc_slices[slice_id].access(line)
+        t += config.llc_latency * self._jitter_factor()
+        if hit:
+            self.llc_hits += 1
+            return t, LLC_HIT
+        self.llc_misses += 1
+        return self._dram_access(hashed, line, t), DRAM
+
+    def _dram_access(self, hashed: int, line: int, t: float) -> float:
+        """One line read through the configured memory backend."""
+        config = self.config
+        if self.banked_mcs:
+            # Banked model: row-buffer state supplies the latency variation
+            # (no synthetic jitter on top); a fixed controller overhead
+            # stands in for command queues and the PHY.
+            banked = self.banked_mcs[hashed % len(self.banked_mcs)]
+            return banked.access(t, line) + 0.5 * config.dram_latency
+        mc = self.mcs[hashed % len(self.mcs)]
+        return (
+            mc.transfer(t, self._line_size)
+            + config.dram_latency * self._jitter_factor()
+        )
+
+    # --- statistics ------------------------------------------------------------
+    @property
+    def llc_accesses(self) -> int:
+        return self.llc_hits + self.llc_misses
+
+    @property
+    def dram_accesses(self) -> int:
+        return self.llc_misses
+
+    def llc_miss_rate(self) -> float:
+        total = self.llc_accesses
+        if total == 0:
+            return 0.0
+        return self.llc_misses / total
+
+    def extra_stats(self, end_time: float) -> Dict[str, float]:
+        """Diagnostics attached to the simulation result."""
+        return {
+            "noc_utilization": self.noc_response.utilization(end_time),
+            "l1_merged": float(self.merged),
+        }
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l1_merged": self.merged,
+            "llc_hits": self.llc_hits,
+            "llc_misses": self.llc_misses,
+            "noc_bytes": self.noc_request.bytes_moved + self.noc_response.bytes_moved,
+            "dram_bytes": sum(mc.bytes_moved for mc in self.mcs),
+        }

@@ -1,0 +1,67 @@
+"""Interconnect topology models (optional NoC fidelity knob).
+
+The paper's systems use a crossbar characterized by its bisection
+bandwidth (Tables I/III), which the default memory path models directly.
+For design-space ablations this module derives the *effective* bisection
+bandwidth and traversal latency of alternative topologies built from the
+same link budget:
+
+* ``crossbar`` — full bisection, constant latency (the paper's NoC);
+* ``mesh``     — 2D mesh: the row/column cut carries ``sqrt(N)`` links,
+  so the effective bisection is derated, and average latency grows with
+  the average hop count ``~2/3 * sqrt(N)``;
+* ``ring``     — bidirectional ring: the cut is two links; average hop
+  count ``N/4``.
+
+``N`` counts NoC endpoints (SMs plus LLC slices).  The derates are the
+standard first-order formulas from interconnection-network texts — the
+goal is credible relative trends, not router microarchitecture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+TOPOLOGIES = ("crossbar", "mesh", "ring")
+
+
+@dataclass(frozen=True)
+class NocModel:
+    """Effective bandwidth/latency of one topology instance."""
+
+    topology: str
+    endpoints: int
+    bisection_derate: float   # multiplier on the crossbar bisection BW
+    latency_factor: float     # multiplier on the base per-traversal latency
+
+    def effective_bandwidth(self, crossbar_bps: float) -> float:
+        return crossbar_bps * self.bisection_derate
+
+    def traversal_latency(self, base_latency: float) -> float:
+        return base_latency * self.latency_factor
+
+
+def build_noc_model(topology: str, endpoints: int) -> NocModel:
+    """Derive the effective NoC parameters for ``endpoints`` nodes."""
+    if endpoints < 1:
+        raise ConfigurationError(f"endpoints must be >= 1, got {endpoints}")
+    if topology == "crossbar":
+        return NocModel(topology, endpoints, 1.0, 1.0)
+    if topology == "mesh":
+        side = max(1.0, math.sqrt(endpoints))
+        # Bisection: side links of the 2*side link budget per row pair;
+        # relative to a crossbar provisioned at the paper's bisection,
+        # the same link budget yields ~2/side of the bandwidth.
+        derate = min(1.0, 2.0 / side)
+        hops = max(1.0, 2.0 / 3.0 * side)
+        return NocModel(topology, endpoints, derate, hops)
+    if topology == "ring":
+        derate = min(1.0, 4.0 / endpoints)
+        hops = max(1.0, endpoints / 4.0)
+        return NocModel(topology, endpoints, derate, hops)
+    raise ConfigurationError(
+        f"unknown topology {topology!r}; choose from {TOPOLOGIES}"
+    )

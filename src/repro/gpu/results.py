@@ -1,0 +1,78 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outputs of one detailed timing simulation.
+
+    The two numbers the scale-model methodology consumes are :attr:`ipc`
+    (aggregate thread instructions per cycle) and
+    :attr:`memory_stall_fraction` (the paper's ``f_mem``, used by the
+    cliff formula).  Everything else is diagnostic.
+    """
+
+    workload: str
+    system: str
+    num_sms: int
+    cycles: float
+    thread_instructions: int
+    warp_instructions: int
+    memory_accesses: int
+    memory_stall_fraction: float
+    l1_hits: int = 0
+    l1_misses: int = 0
+    llc_hits: int = 0
+    llc_misses: int = 0
+    events: int = 0
+    wall_time_s: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise SimulationError(
+                f"{self.workload}@{self.system}: non-positive cycle count"
+            )
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate thread instructions per cycle (the paper's metric)."""
+        return self.thread_instructions / self.cycles
+
+    @property
+    def ipc_per_sm(self) -> float:
+        return self.ipc / self.num_sms
+
+    @property
+    def mpki(self) -> float:
+        """LLC misses per thousand thread instructions."""
+        if self.thread_instructions == 0:
+            return 0.0
+        return 1000.0 * self.llc_misses / self.thread_instructions
+
+    @property
+    def l1_miss_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        if total == 0:
+            return 0.0
+        return self.l1_misses / total
+
+    @property
+    def llc_miss_rate(self) -> float:
+        total = self.llc_hits + self.llc_misses
+        if total == 0:
+            return 0.0
+        return self.llc_misses / total
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload} on {self.system}: IPC={self.ipc:.1f} "
+            f"({self.cycles:.0f} cycles, {self.thread_instructions} thread insns), "
+            f"f_mem={self.memory_stall_fraction:.3f}, MPKI={self.mpki:.2f}"
+        )

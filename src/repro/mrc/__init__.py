@@ -1,0 +1,37 @@
+"""Miss-rate-curve machinery (Section V-A of the paper).
+
+The strong-scaling workflow needs MPKI as a function of LLC capacity.
+Collecting it through detailed timing simulation would defeat the purpose,
+so — following the literature the paper builds on — this package provides
+
+* :mod:`repro.mrc.stack_distance` — an exact single-pass reuse/stack
+  distance histogram (Conte et al. [20]) using a Fenwick tree, evaluated
+  at every capacity of interest in one pass;
+* :mod:`repro.mrc.statstack` — a StatStack-flavoured statistical
+  approximation (Eklov and Hagersten [23]) built from forward reuse
+  distances, much cheaper than exact stack distances;
+* :mod:`repro.mrc.interleave` — a GPU-aware interleaving model in the
+  spirit of Nugteren et al. [49]: per-warp streams are merged round-robin
+  across warps, CTAs and SMs and filtered through functional L1s to form
+  the LLC reference stream;
+* :mod:`repro.mrc.collector` — the end-to-end collector: workload trace →
+  LLC stream → :class:`~repro.mrc.curve.MissRateCurve`;
+* :mod:`repro.mrc.cliff` — region analysis (pre-cliff / cliff /
+  post-cliff) used by the predictor.
+"""
+
+from repro.mrc.curve import MissRateCurve
+from repro.mrc.cliff import CliffAnalysis, Region, analyze_regions
+from repro.mrc.collector import collect_miss_rate_curve
+from repro.mrc.stack_distance import StackDistanceProfiler
+from repro.mrc.statstack import statstack_miss_ratios
+
+__all__ = [
+    "MissRateCurve",
+    "CliffAnalysis",
+    "Region",
+    "analyze_regions",
+    "collect_miss_rate_curve",
+    "StackDistanceProfiler",
+    "statstack_miss_ratios",
+]

@@ -1,0 +1,24 @@
+"""Workload traces: the interface between benchmarks and simulators.
+
+A workload is a sequence of kernels; a kernel is a grid of CTAs; a CTA is
+a handful of warps; a warp trace is an alternating sequence of compute
+bursts and memory accesses at cache-line granularity.  Traces are built
+lazily and deterministically — ``build_cta(cta_id)`` always returns the
+same trace for the same spec and seed — so the timing simulator and the
+miss-rate-curve collector replay identical streams without storing the
+whole workload in memory.
+"""
+
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+from repro.trace.sampling import SievePlan, sieve_sample
+from repro.trace import patterns
+
+__all__ = [
+    "WarpTrace",
+    "CTATrace",
+    "KernelTrace",
+    "WorkloadTrace",
+    "SievePlan",
+    "sieve_sample",
+    "patterns",
+]

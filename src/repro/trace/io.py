@@ -1,0 +1,140 @@
+"""Trace serialization: save/load workload traces as ``.npz`` bundles.
+
+The paper's artifact distributes pre-collected traces and results so the
+prediction step can run without re-simulation; this module provides the
+same capability for this repository's traces.  A saved trace is a single
+compressed ``.npz`` holding flattened per-warp arrays plus an index, and
+loads back into a :class:`~repro.trace.kernel.WorkloadTrace` whose
+``build_cta`` slices the arrays (no re-generation, identical replay).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+
+FORMAT_VERSION = 1
+
+
+def save_trace(workload: WorkloadTrace, path: str) -> None:
+    """Materialize every CTA of ``workload`` and write it to ``path``."""
+    lines: List[np.ndarray] = []
+    compute: List[np.ndarray] = []
+    warp_lengths: List[int] = []
+    warp_tails: List[int] = []
+    warp_offsets: List[float] = []
+    cta_warp_counts: List[int] = []
+    kernel_meta = []
+    for kernel in workload.kernels:
+        kernel_meta.append(
+            {
+                "name": kernel.name,
+                "num_ctas": kernel.num_ctas,
+                "threads_per_cta": kernel.threads_per_cta,
+            }
+        )
+        for cta in kernel.iter_ctas():
+            cta_warp_counts.append(cta.num_warps)
+            for warp in cta.warps:
+                lines.append(np.asarray(warp.lines, dtype=np.int64))
+                compute.append(np.asarray(warp.compute, dtype=np.int64))
+                warp_lengths.append(warp.num_accesses)
+                warp_tails.append(warp.tail_compute)
+                warp_offsets.append(warp.start_offset)
+    header = {
+        "version": FORMAT_VERSION,
+        "name": workload.name,
+        "footprint_bytes": workload.footprint_bytes,
+        "metadata": _jsonable(workload.metadata),
+        "kernels": kernel_meta,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        lines=np.concatenate(lines) if lines else np.empty(0, dtype=np.int64),
+        compute=np.concatenate(compute) if compute else np.empty(0, dtype=np.int64),
+        warp_lengths=np.asarray(warp_lengths, dtype=np.int64),
+        warp_tails=np.asarray(warp_tails, dtype=np.int64),
+        warp_offsets=np.asarray(warp_offsets, dtype=np.float64),
+        cta_warp_counts=np.asarray(cta_warp_counts, dtype=np.int64),
+    )
+
+
+def load_trace(path: str) -> WorkloadTrace:
+    """Load a trace bundle written by :func:`save_trace`."""
+    with np.load(path) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceError(
+                f"{path}: unsupported trace format version "
+                f"{header.get('version')!r}"
+            )
+        lines = data["lines"]
+        compute = data["compute"]
+        warp_lengths = data["warp_lengths"]
+        warp_tails = data["warp_tails"]
+        warp_offsets = data["warp_offsets"]
+        cta_warp_counts = data["cta_warp_counts"]
+
+    warp_ends = np.cumsum(warp_lengths)
+    warp_starts = warp_ends - warp_lengths
+    cta_warp_ends = np.cumsum(cta_warp_counts)
+    cta_warp_starts = cta_warp_ends - cta_warp_counts
+
+    kernels = []
+    cta_base = 0
+    for meta in header["kernels"]:
+        num_ctas = int(meta["num_ctas"])
+
+        def build_cta(cta_id: int, base=cta_base) -> CTATrace:
+            index = base + cta_id
+            warps = []
+            for w in range(int(cta_warp_starts[index]), int(cta_warp_ends[index])):
+                lo, hi = int(warp_starts[w]), int(warp_ends[w])
+                warps.append(
+                    WarpTrace(
+                        compute[lo:hi].tolist(),
+                        lines[lo:hi].tolist(),
+                        tail_compute=int(warp_tails[w]),
+                        start_offset=float(warp_offsets[w]),
+                    )
+                )
+            return CTATrace(cta_id, warps)
+
+        kernels.append(
+            KernelTrace(
+                name=meta["name"],
+                num_ctas=num_ctas,
+                threads_per_cta=int(meta["threads_per_cta"]),
+                build_cta=build_cta,
+            )
+        )
+        cta_base += num_ctas
+
+    metadata = dict(header.get("metadata", {}))
+    warm = metadata.get("warm_region")
+    if warm is not None:
+        metadata["warm_region"] = tuple(warm)
+    return WorkloadTrace(
+        name=header["name"],
+        kernels=kernels,
+        footprint_bytes=int(header.get("footprint_bytes", 0)),
+        metadata=metadata,
+    )
+
+
+def _jsonable(metadata: dict) -> dict:
+    out = {}
+    for key, value in metadata.items():
+        if isinstance(value, tuple):
+            out[key] = list(value)
+        elif isinstance(value, (str, int, float, bool, list)) or value is None:
+            out[key] = value
+        else:
+            out[key] = str(value)
+    return out

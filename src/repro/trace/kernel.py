@@ -1,0 +1,147 @@
+"""Trace data types: warp, CTA, kernel and workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence
+
+from repro.exceptions import TraceError
+
+
+@dataclass
+class WarpTrace:
+    """The execution trace of one warp.
+
+    ``compute[i]`` warp instructions execute before memory access ``i``
+    touches line ``lines[i]``; ``tail_compute`` warp instructions run after
+    the final access.  All counts are *warp* instructions (multiply by the
+    threads-per-warp of the machine to get thread instructions).
+
+    ``start_offset`` is a launch delay in cycles before the warp issues its
+    first instruction (scheduler and launch-overhead stagger).  It executes
+    no instructions and is invisible to functional (MRC) replay.
+    """
+
+    compute: List[int]
+    lines: List[int]
+    tail_compute: int = 0
+    start_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.compute) != len(self.lines):
+            raise TraceError(
+                f"compute ({len(self.compute)}) and lines ({len(self.lines)}) "
+                "must have equal length"
+            )
+        if self.tail_compute < 0:
+            raise TraceError(f"tail_compute must be >= 0, got {self.tail_compute}")
+        if self.start_offset < 0:
+            raise TraceError(f"start_offset must be >= 0, got {self.start_offset}")
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.lines)
+
+    @property
+    def warp_instructions(self) -> int:
+        """Total warp instructions: compute bursts + memory instructions."""
+        return sum(self.compute) + len(self.lines) + self.tail_compute
+
+
+@dataclass
+class CTATrace:
+    """One cooperative thread array: a list of warp traces."""
+
+    cta_id: int
+    warps: List[WarpTrace]
+
+    def __post_init__(self) -> None:
+        if not self.warps:
+            raise TraceError(f"CTA {self.cta_id} has no warps")
+
+    @property
+    def num_warps(self) -> int:
+        return len(self.warps)
+
+    @property
+    def warp_instructions(self) -> int:
+        return sum(w.warp_instructions for w in self.warps)
+
+    @property
+    def num_accesses(self) -> int:
+        return sum(w.num_accesses for w in self.warps)
+
+
+@dataclass
+class KernelTrace:
+    """A kernel launch: ``num_ctas`` CTAs built on demand.
+
+    ``build_cta`` must be deterministic in ``cta_id``; simulators may call
+    it multiple times (timing run, MRC collection) and rely on identical
+    results.
+    """
+
+    name: str
+    num_ctas: int
+    threads_per_cta: int
+    build_cta: Callable[[int], CTATrace]
+
+    def __post_init__(self) -> None:
+        if self.num_ctas < 1:
+            raise TraceError(f"kernel {self.name}: num_ctas must be >= 1")
+        if self.threads_per_cta < 1:
+            raise TraceError(f"kernel {self.name}: threads_per_cta must be >= 1")
+
+    @property
+    def warps_per_cta(self) -> int:
+        return max(1, self.threads_per_cta // 32)
+
+    def iter_ctas(self) -> Iterator[CTATrace]:
+        for cta_id in range(self.num_ctas):
+            yield self.build_cta(cta_id)
+
+
+@dataclass
+class WorkloadTrace:
+    """A full benchmark run: kernels executed back to back."""
+
+    name: str
+    kernels: List[KernelTrace]
+    footprint_bytes: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise TraceError(f"workload {self.name} has no kernels")
+
+    @property
+    def num_ctas(self) -> int:
+        return sum(k.num_ctas for k in self.kernels)
+
+    def count_instructions(self, threads_per_warp: int = 32) -> int:
+        """Total thread instructions; walks every CTA (use on small traces)."""
+        total = 0
+        for kernel in self.kernels:
+            for cta in kernel.iter_ctas():
+                total += cta.warp_instructions
+        return total * threads_per_warp
+
+    def count_accesses(self) -> int:
+        """Total warp-level memory accesses; walks every CTA."""
+        total = 0
+        for kernel in self.kernels:
+            for cta in kernel.iter_ctas():
+                total += cta.num_accesses
+        return total
+
+    def iter_accesses(self) -> Iterator[int]:
+        """All line addresses in CTA-then-warp program order.
+
+        This is the *unshuffled* stream; the MRC collector applies its own
+        interleaving model (see :mod:`repro.mrc.interleave`).
+        """
+        for kernel in self.kernels:
+            for cta in kernel.iter_ctas():
+                for warp in cta.warps:
+                    for line in warp.lines:
+                        yield line

@@ -1,0 +1,46 @@
+"""Benchmark suite: synthetic miniatures of the paper's workloads.
+
+Table II of the paper lists 21 strong-scaling benchmarks drawn from
+Rodinia, Polybench, Parboil, the CUDA SDK and MLPerf; Table IV lists the
+six weak-scalable ones.  This package rebuilds each as a *synthetic
+miniature*: a deterministic trace generator matching the published CTA
+counts, memory footprint and — the property the whole paper revolves
+around — the workload's scaling behaviour and its miss-rate-curve shape.
+
+The scaling behaviours arise from first-principles mechanisms, not from
+hard-coded IPC curves:
+
+* **super-linear** — repeated sweeps over a hot working set sized like the
+  published footprint; the LLC miss-rate cliff appears exactly where the
+  working set starts fitting (Section IV-2 of the paper);
+* **sub-linear** — CTA-count tails and load imbalance (too few CTAs per SM
+  at large sizes), small-grid kernels, and hot shared data camping in
+  front of LLC slices (Section IV-3);
+* **linear** — balanced grids that are either compute-bound or bound by
+  shared resources that scale proportionally with system size
+  (Section IV-1).
+"""
+
+from repro.workloads.spec import BenchmarkSpec, KernelShape, ScalingBehavior
+from repro.workloads.catalog import (
+    MCM_WEAK_BENCHMARKS,
+    STRONG_SCALING,
+    WEAK_SCALING,
+    get_benchmark,
+    strong_scaling_names,
+    weak_scaling_names,
+)
+from repro.workloads.generators import build_trace
+
+__all__ = [
+    "BenchmarkSpec",
+    "KernelShape",
+    "ScalingBehavior",
+    "STRONG_SCALING",
+    "WEAK_SCALING",
+    "MCM_WEAK_BENCHMARKS",
+    "get_benchmark",
+    "strong_scaling_names",
+    "weak_scaling_names",
+    "build_trace",
+]

@@ -1,0 +1,88 @@
+"""Benchmark specification types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.exceptions import WorkloadError
+
+
+class ScalingBehavior(enum.Enum):
+    """How performance scales with system size (Table II, rightmost column)."""
+
+    LINEAR = "linear"
+    SUB_LINEAR = "sub-linear"
+    SUPER_LINEAR = "super-linear"
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Grid shape of one kernel launch.
+
+    ``num_ctas`` follows the paper's Table II "CTA size" column (the CTA
+    *count* per kernel); counts above :data:`MAX_CTAS` are clamped by the
+    generators to keep pure-Python simulation affordable (a documented
+    workload-size substitution).
+    """
+
+    num_ctas: int
+    threads_per_cta: int = 256
+    work_share: float = 1.0  # fraction of the benchmark's accesses
+
+    def __post_init__(self) -> None:
+        if self.num_ctas < 1:
+            raise WorkloadError(f"num_ctas must be >= 1, got {self.num_ctas}")
+        if self.threads_per_cta < 32:
+            raise WorkloadError(
+                f"threads_per_cta must be >= 32, got {self.threads_per_cta}"
+            )
+
+    @property
+    def warps_per_cta(self) -> int:
+        return self.threads_per_cta // 32
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One benchmark of the paper's suite.
+
+    ``footprint_mb`` and ``insns_m`` are the paper-reported numbers
+    (Table II); ``scaling`` is the paper's strong-scaling classification
+    that the simulator must reproduce; ``family`` selects the trace
+    generator in :mod:`repro.workloads.generators` and ``params`` holds
+    its family-specific knobs.
+    """
+
+    abbr: str
+    name: str
+    suite: str
+    footprint_mb: float
+    insns_m: float
+    kernels: Tuple[KernelShape, ...]
+    scaling: ScalingBehavior
+    family: str
+    params: Mapping[str, float] = field(default_factory=dict)
+    weak_scalable: bool = False
+    weak_scaling: Optional[ScalingBehavior] = None
+    mcm: bool = False
+
+    def __post_init__(self) -> None:
+        if self.footprint_mb <= 0:
+            raise WorkloadError(f"{self.abbr}: footprint must be positive")
+        if not self.kernels:
+            raise WorkloadError(f"{self.abbr}: at least one kernel required")
+        if self.weak_scalable and self.weak_scaling is None:
+            raise WorkloadError(
+                f"{self.abbr}: weak_scalable benchmarks need a weak_scaling class"
+            )
+        if self.mcm and not self.weak_scalable:
+            raise WorkloadError(f"{self.abbr}: MCM experiments use weak scaling")
+
+    @property
+    def num_ctas(self) -> int:
+        return sum(k.num_ctas for k in self.kernels)
+
+    def param(self, key: str, default: float) -> float:
+        return self.params.get(key, default)

@@ -1,0 +1,7 @@
+"""Per-suite benchmark definitions (Rodinia, CUDA SDK, PolyBench,
+Parboil, MLPerf).  :mod:`repro.workloads.catalog` aggregates them into the
+Table II / Table IV catalogs."""
+
+from repro.workloads.suites import cuda_sdk, mlperf, parboil, polybench, rodinia
+
+__all__ = ["rodinia", "cuda_sdk", "polybench", "parboil", "mlperf"]

@@ -1,0 +1,69 @@
+"""MLPerf Inference workloads [2, 51] (Sieve-sampled [47]) — benchmark miniatures.
+
+Each entry documents the real kernel it stands in for and why the
+miniature is shaped the way it is; calibration rules live in
+:mod:`repro.workloads.catalog`.  ``STRONG`` holds the Table II
+(strong-scaling) spec; ``WEAK`` holds the Table IV base input where the
+benchmark is weak-scalable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.spec import BenchmarkSpec, KernelShape, ScalingBehavior
+
+LINEAR = ScalingBehavior.LINEAR
+SUB = ScalingBehavior.SUB_LINEAR
+SUPER = ScalingBehavior.SUPER_LINEAR
+
+
+def _k(num_ctas: int, threads: int = 256) -> KernelShape:
+    return KernelShape(num_ctas=num_ctas, threads_per_cta=threads)
+
+
+# MLPerf 3D-UNet inference (Sieve-sampled kernels): a mix of wide
+# convolution grids and small up/down-sampling kernels.  The small grids
+# cannot fill 128 SMs — the Amdahl-style tail that makes unet the most
+# sub-linear benchmark of the suite.
+UNET = BenchmarkSpec(
+    abbr="unet", name="3D-Unet", suite="MLPerf",
+    footprint_mb=615.0, insns_m=20071,
+    kernels=(_k(768), _k(4096), _k(1536), _k(2048), _k(768)),
+    scaling=SUB, family="hotcold",
+    params={
+        "cpa": 7.0, "apw": 3, "sigma": 0.3,
+        "hot_lines": 24576, "hot_frac": 0.75, "zipf_exp": 0.0,
+    },
+)
+
+# MLPerf ResNet-50 inference (Sieve-sampled): large streaming
+# convolution working sets (1.4 GB footprint) that never fit on chip —
+# bandwidth-bound and linear.
+RES50 = BenchmarkSpec(
+    abbr="res50", name="Resnet50", suite="MLPerf",
+    footprint_mb=1388.1, insns_m=85067,
+    kernels=(_k(8192),),
+    scaling=LINEAR, family="stream",
+    params={"cpa": 8.0, "apw": 5},
+)
+
+# MLPerf SSD-ResNet34 inference (Sieve-sampled): like res50, a
+# streaming conv pipeline with an 845.8 MB footprint; linear.
+RES34 = BenchmarkSpec(
+    abbr="res34", name="SSD-Resnet34", suite="MLPerf",
+    footprint_mb=845.8, insns_m=47369,
+    kernels=(_k(8192),),
+    scaling=LINEAR, family="stream",
+    params={"cpa": 9.0, "apw": 5},
+)
+
+STRONG: Dict[str, BenchmarkSpec] = {
+    "unet": UNET,
+    "res50": RES50,
+    "res34": RES34,
+}
+
+WEAK: Dict[str, BenchmarkSpec] = {
+
+}

@@ -1,0 +1,53 @@
+"""Parboil throughput-computing suite [55] — benchmark miniatures.
+
+Each entry documents the real kernel it stands in for and why the
+miniature is shaped the way it is; calibration rules live in
+:mod:`repro.workloads.catalog`.  ``STRONG`` holds the Table II
+(strong-scaling) spec; ``WEAK`` holds the Table IV base input where the
+benchmark is weak-scalable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.spec import BenchmarkSpec, KernelShape, ScalingBehavior
+
+LINEAR = ScalingBehavior.LINEAR
+SUB = ScalingBehavior.SUB_LINEAR
+SUPER = ScalingBehavior.SUPER_LINEAR
+
+
+def _k(num_ctas: int, threads: int = 256) -> KernelShape:
+    return KernelShape(num_ctas=num_ctas, threads_per_cta=threads)
+
+
+# Parboil 3D stencil: the sweep re-reads a ~12 MB set of active
+# planes while streaming through the rest of its 131.9 MB grid; the hot
+# planes fit at 64 SMs, making st the second post-cliff benchmark.
+ST = BenchmarkSpec(
+    abbr="st", name="Stencil", suite="Parboil",
+    footprint_mb=131.9, insns_m=557,
+    kernels=(_k(4192),),
+    scaling=SUPER, family="sweep",
+    params={"hot_mb": 12.0, "cpa": 14.0, "apw": 6},
+)
+
+# Parboil lattice-Boltzmann: streaming update of a 359 MB lattice,
+# bandwidth-bound with proportional scaling; linear.
+LBM = BenchmarkSpec(
+    abbr="lbm", name="Lattice-Boltzmann Method", suite="Parboil",
+    footprint_mb=359.4, insns_m=553,
+    kernels=(_k(8192),),
+    scaling=LINEAR, family="stream",
+    params={"cpa": 5.0, "apw": 5},
+)
+
+STRONG: Dict[str, BenchmarkSpec] = {
+    "st": ST,
+    "lbm": LBM,
+}
+
+WEAK: Dict[str, BenchmarkSpec] = {
+
+}

@@ -1,0 +1,67 @@
+"""PolyBench/GPU kernels [27] — benchmark miniatures.
+
+Each entry documents the real kernel it stands in for and why the
+miniature is shaped the way it is; calibration rules live in
+:mod:`repro.workloads.catalog`.  ``STRONG`` holds the Table II
+(strong-scaling) spec; ``WEAK`` holds the Table IV base input where the
+benchmark is weak-scalable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.workloads.spec import BenchmarkSpec, KernelShape, ScalingBehavior
+
+LINEAR = ScalingBehavior.LINEAR
+SUB = ScalingBehavior.SUB_LINEAR
+SUPER = ScalingBehavior.SUPER_LINEAR
+
+
+def _k(num_ctas: int, threads: int = 256) -> KernelShape:
+    return KernelShape(num_ctas=num_ctas, threads_per_cta=threads)
+
+
+# Polybench LU decomposition: repeated row/column updates over a
+# 16.8 MB matrix.  The matrix fits the 17 MB LLC of the 64-SM system, so
+# the cliff sits one doubling earlier than dct's — this benchmark
+# exercises the predictor's post-cliff chain (Eq. 4) at 128 SMs.
+LU = BenchmarkSpec(
+    abbr="lu", name="LU Decomposition", suite="Polybench",
+    footprint_mb=16.8, insns_m=146,
+    kernels=(_k(8192, 128),),
+    scaling=SUPER, family="sweep",
+    params={"hot_mb": 16.5, "cpa": 14.0, "apw": 6},
+)
+
+# Polybench GEMM (C = alpha*A*B + beta*C): register/L1-tiled inner
+# loops give high arithmetic intensity; the first tile pass reaches the
+# memory system and the re-reads are folded into the compute bursts
+# (see generators._tiled_kernel).  Compute-bound, linear.
+GEMM = BenchmarkSpec(
+    abbr="gemm", name="Matrix Multiply", suite="Polybench",
+    footprint_mb=12.6, insns_m=7030,
+    kernels=(_k(8192, 128),),
+    scaling=LINEAR, family="tiled",
+    params={"cpa": 30.0, "apw": 5, "reps": 3},
+)
+
+# Polybench 2MM: two chained GEMMs — the same tiled, compute-bound
+# behaviour over a 21 MB footprint across two kernel launches.
+TWO_MM = BenchmarkSpec(
+    abbr="2mm", name="2 Matrix Multiplications", suite="Polybench",
+    footprint_mb=21.0, insns_m=12921,
+    kernels=(_k(4096, 128), _k(4096, 128)),
+    scaling=LINEAR, family="tiled",
+    params={"cpa": 30.0, "apw": 5, "reps": 3},
+)
+
+STRONG: Dict[str, BenchmarkSpec] = {
+    "lu": LU,
+    "gemm": GEMM,
+    "2mm": TWO_MM,
+}
+
+WEAK: Dict[str, BenchmarkSpec] = {
+
+}

@@ -1,0 +1,69 @@
+"""Artifact-bundle export tests (using the fake runner)."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.artifact import (
+    configs_record,
+    export_artifact,
+    strong_benchmark_record,
+    weak_benchmark_record,
+)
+from tests.analysis.test_experiments_with_fakes import FakeRunner
+
+
+class TestRecords:
+    def test_strong_record_shape(self):
+        record = strong_benchmark_record("pf", FakeRunner())
+        assert record["scenario"] == "strong"
+        assert set(record["scale_model_ipc"]) == {"8", "16"}
+        assert set(record["target_ipc"]) == {"32", "64", "128"}
+        assert len(record["miss_rate_curve"]["mpki"]) == 5
+        assert "scale-model" in record["predictions"]
+        assert record["errors"]["scale-model"]["128"] < 0.01
+
+    def test_weak_record_shape(self):
+        record = weak_benchmark_record("va", FakeRunner())
+        assert record["scenario"] == "weak"
+        assert "miss_rate_curve" not in record  # not needed under weak
+        assert "simulation_seconds" in record
+
+    def test_configs_record(self):
+        record = configs_record()
+        assert len(record["monolithic"]) == 5
+        assert record["mcm_target"]["#chiplets"] == "16"
+
+
+class TestExport:
+    def test_export_writes_bundle(self, tmp_path):
+        out = str(tmp_path / "artifact")
+        counts = export_artifact(
+            out, runner=FakeRunner(),
+            benchmarks=("pf", "ht"), weak_benchmarks=("va",),
+        )
+        assert counts == {"strong": 2, "weak": 1}
+        assert os.path.exists(os.path.join(out, "configs.json"))
+        assert os.path.exists(os.path.join(out, "strong", "pf.json"))
+        assert os.path.exists(os.path.join(out, "weak", "va.json"))
+        with open(os.path.join(out, "summary.json")) as fh:
+            summary = json.load(fh)
+        assert set(summary["strong"]) == {"pf", "ht"}
+
+    def test_bundle_round_trips_through_cli(self, tmp_path):
+        """A record contains exactly what gpu-scale-model needs."""
+        from repro.core.cli import build_parser, run
+        import io
+
+        record = strong_benchmark_record("pf", FakeRunner())
+        ipcs = record["scale_model_ipc"]
+        mpki = [str(m) for m in record["miss_rate_curve"]["mpki"]]
+        args = build_parser().parse_args(
+            [str(ipcs["8"]), str(ipcs["16"]), *mpki,
+             "--small-sms", "8", "--f-mem", str(record["f_mem"])]
+        )
+        out = io.StringIO()
+        assert run(args, out=out) == 0
+        predicted_128 = record["predictions"]["scale-model"]["128"]
+        assert f"{predicted_128:.1f}" in out.getvalue()

@@ -1,0 +1,53 @@
+"""Scaling-behaviour classifier tests."""
+
+import pytest
+
+from repro.analysis.classify import classify_scaling
+from repro.exceptions import PredictionError
+from repro.workloads.spec import ScalingBehavior
+
+SIZES = [8, 16, 32, 64, 128]
+
+
+class TestClassify:
+    def test_perfectly_linear(self):
+        ipcs = [100 * s / 8 for s in SIZES]
+        assert classify_scaling(ipcs, SIZES) is ScalingBehavior.LINEAR
+
+    def test_mildly_sublinear_is_still_linear(self):
+        ipcs = [100, 195, 380, 741, 1445]  # ~1.95x per doubling
+        assert classify_scaling(ipcs, SIZES) is ScalingBehavior.LINEAR
+
+    def test_cliff_jump_is_super_linear(self):
+        ipcs = [100, 195, 380, 740, 2200]  # ~3x at the last doubling
+        assert classify_scaling(ipcs, SIZES) is ScalingBehavior.SUPER_LINEAR
+
+    def test_overall_super_linear_growth(self):
+        ipcs = [100 * (s / 8) ** 1.1 for s in SIZES]
+        # total = 16^1.1 = 21.1 -> norm 1.32 > threshold
+        assert classify_scaling(ipcs, SIZES) is ScalingBehavior.SUPER_LINEAR
+
+    def test_decaying_is_sub_linear(self):
+        ipcs = [100, 180, 310, 500, 700]  # norm 0.44
+        assert classify_scaling(ipcs, SIZES) is ScalingBehavior.SUB_LINEAR
+
+    def test_two_point_profile(self):
+        assert classify_scaling([10, 20], [8, 16]) is ScalingBehavior.LINEAR
+        assert classify_scaling([10, 12], [8, 16]) is ScalingBehavior.SUB_LINEAR
+
+    def test_non_uniform_size_steps(self):
+        # Step from 8 to 64: an 8x step with a 16x IPC jump -> super.
+        assert (
+            classify_scaling([100, 1600], [8, 64])
+            is ScalingBehavior.SUPER_LINEAR
+        )
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            classify_scaling([1.0], [8])
+        with pytest.raises(PredictionError):
+            classify_scaling([1.0, 2.0], [16, 8])
+        with pytest.raises(PredictionError):
+            classify_scaling([1.0, 0.0], [8, 16])
+        with pytest.raises(PredictionError):
+            classify_scaling([1.0, 2.0, 3.0], [8, 16])

@@ -1,0 +1,79 @@
+"""Experiment-CLI argument handling tests (no heavy simulation)."""
+
+import io
+
+import pytest
+
+from repro.analysis.cli import build_parser, run_experiment
+from repro.analysis.runner import CachedRunner
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = build_parser()
+        for name in ("table1", "fig4", "all"):
+            args = parser.parse_args([name])
+            assert args.experiment == name
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.target == 128
+        assert args.cache == "results/simcache.json"
+
+
+class TestStaticExperiments:
+    def test_table1_runs_without_simulation(self):
+        args = build_parser().parse_args(["table1"])
+        out = io.StringIO()
+        run_experiment("table1", args, CachedRunner(None), out)
+        assert "34 MB, 32 slices" in out.getvalue()
+
+    def test_table5_runs_without_simulation(self):
+        args = build_parser().parse_args(["table5"])
+        out = io.StringIO()
+        run_experiment("table5", args, CachedRunner(None), out)
+        assert "Table V" in out.getvalue()
+
+
+class TestExperimentDispatchWithFakeRunner:
+    """Exercise every CLI experiment path against the fake runner."""
+
+    def _run(self, name, extra=()):
+        from tests.analysis.test_experiments_with_fakes import FakeRunner
+
+        args = build_parser().parse_args([name, *extra])
+        out = io.StringIO()
+        run_experiment(name, args, FakeRunner(), out)
+        return out.getvalue()
+
+    def test_fig1(self):
+        text = self._run("fig1", ("--benchmarks", "pf"))
+        assert "pf" in text and "performance vs system size" in text
+
+    def test_fig2(self):
+        text = self._run("fig2", ("--benchmarks", "pf"))
+        assert "miss rate curves" in text
+
+    def test_fig4(self):
+        text = self._run("fig4", ("--benchmarks", "pf,ht"))
+        assert "128-SM target" in text
+
+    def test_fig5(self):
+        text = self._run("fig5", ("--benchmarks", "pf"))
+        assert "Figure 5: pf" in text
+
+    def test_fig6(self):
+        text = self._run("fig6")
+        assert "weak scaling, 128-SM target" in text
+
+    def test_fig7(self):
+        text = self._run("fig7")
+        assert "simulation speedup" in text
+
+    def test_fig8(self):
+        text = self._run("fig8")
+        assert "16-SM target" in text

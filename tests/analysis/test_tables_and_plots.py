@@ -1,0 +1,61 @@
+"""Text-table and ASCII-plot rendering tests."""
+
+import pytest
+
+from repro.analysis.ascii_plot import plot_series
+from repro.analysis.tables import render_percent, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_separator(self):
+        text = render_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 20]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        # Numeric cells right-aligned, text left-aligned.
+        assert lines[3].startswith("alpha")
+        assert lines[3].rstrip().endswith("1.50")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_percent_and_x_cells_right_aligned(self):
+        text = render_table(["m", "e"], [["x", "12.3%"], ["y", "1.5x"]])
+        lines = text.splitlines()
+        assert lines[2].rstrip().endswith("12.3%")
+
+    def test_render_percent(self):
+        assert render_percent(0.042) == "4.2%"
+        assert render_percent(1.13) == "113.0%"
+
+
+class TestPlotSeries:
+    def test_contains_legend_and_bounds(self):
+        text = plot_series(
+            [8, 16, 32], {"real": [1, 2, 4], "pred": [1, 2, 3]},
+            title="plot", x_label="#SMs",
+        )
+        assert "plot" in text
+        assert "* real" in text and "o pred" in text
+        assert "#SMs" in text
+
+    def test_marks_present(self):
+        text = plot_series([0, 1], {"a": [0.0, 1.0]}, width=16, height=4)
+        # One mark in the legend plus one per data point.
+        assert text.count("*") == 3
+
+    def test_flat_series_ok(self):
+        text = plot_series([1, 2], {"a": [5.0, 5.0]})
+        assert "a" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plot_series([1, 2], {})
+        with pytest.raises(ValueError):
+            plot_series([1, 2], {"a": [1.0]})

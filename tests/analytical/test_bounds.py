@@ -1,0 +1,89 @@
+"""Analytical bound-model tests, including cross-checks vs the simulator."""
+
+import pytest
+
+from repro.analytical import WorkloadStats, analyze, stats_from_result
+from repro.exceptions import PredictionError
+from repro.gpu import GPUConfig, simulate
+from repro.workloads import STRONG_SCALING, build_trace
+
+
+class TestWorkloadStats:
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            WorkloadStats(0.0, 0.5, 0.5)
+        with pytest.raises(PredictionError):
+            WorkloadStats(10.0, 1.5, 0.5)
+        with pytest.raises(PredictionError):
+            WorkloadStats(10.0, 0.5, -0.1)
+
+
+class TestBounds:
+    def config(self, num_sms=16):
+        return GPUConfig.paper_system(num_sms)
+
+    def test_compute_bound_workload(self):
+        # Very high instructions/access, everything hits the L1.
+        stats = WorkloadStats(3000.0, 0.02, 0.1)
+        est = analyze(self.config(), stats)
+        assert est.bottleneck == "issue"
+        cfg = self.config()
+        assert est.ipc == cfg.num_sms * cfg.issue_width * 32
+
+    def test_dram_bound_workload(self):
+        # Memory hungry, everything misses everywhere.
+        stats = WorkloadStats(80.0, 1.0, 1.0)
+        est = analyze(self.config(), stats)
+        assert est.bottleneck in ("dram", "latency")
+        assert est.ipc < 0.5 * self.config().num_sms * 64
+
+    def test_llc_hits_relieve_dram(self):
+        thrash = analyze(self.config(), WorkloadStats(100.0, 1.0, 1.0))
+        fits = analyze(self.config(), WorkloadStats(100.0, 1.0, 0.05))
+        assert fits.ipc > thrash.ipc
+
+    def test_bounds_scale_with_system_size(self):
+        stats = WorkloadStats(200.0, 0.5, 0.3)
+        small = analyze(self.config(8), stats)
+        large = analyze(self.config(64), stats)
+        assert large.ipc > 4 * small.ipc  # proportional resources
+
+    def test_as_text(self):
+        est = analyze(self.config(), WorkloadStats(100.0, 0.5, 0.5))
+        text = est.as_text()
+        assert "binding" in text and "predicted IPC" in text
+
+
+class TestCrossCheckAgainstSimulator:
+    """The analytical model should land within ~2x of the simulator and
+    agree on the bottleneck class; it is a sanity check, not a replacement.
+    """
+
+    @pytest.mark.parametrize("abbr,expected_kind", [
+        ("gemm", "issue"),      # compute-bound linear workload
+        ("pf", ("dram", "latency")),  # memory-bound linear workload
+    ])
+    def test_bottleneck_and_magnitude(self, abbr, expected_kind):
+        cfg = GPUConfig.paper_system(16)
+        result = simulate(
+            cfg, build_trace(STRONG_SCALING[abbr],
+                             capacity_scale=cfg.capacity_scale)
+        )
+        est = analyze(cfg, stats_from_result(result))
+        if isinstance(expected_kind, str):
+            assert est.bottleneck == expected_kind
+        else:
+            assert est.bottleneck in expected_kind
+        assert est.ipc / result.ipc < 3.0
+        assert result.ipc / est.ipc < 3.0
+
+    def test_stats_from_result_requires_accesses(self):
+        from repro.gpu.results import SimulationResult
+
+        empty = SimulationResult(
+            workload="w", system="s", num_sms=1, cycles=1.0,
+            thread_instructions=10, warp_instructions=1,
+            memory_accesses=0, memory_stall_fraction=0.0,
+        )
+        with pytest.raises(PredictionError):
+            stats_from_result(empty)

@@ -1,0 +1,109 @@
+"""Baseline predictor tests (proportional, linear, power-law, logarithmic)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.baselines import (
+    METHOD_NAMES,
+    LinearRegression,
+    LogarithmicRegression,
+    PowerLawRegression,
+    ProportionalScaling,
+    make_predictor,
+)
+from repro.exceptions import PredictionError
+
+SIZES = [8, 16]
+
+
+class TestProportional:
+    def test_scales_from_largest_model(self):
+        p = ProportionalScaling().fit(SIZES, [100, 190])
+        assert p.predict(128) == pytest.approx(190 * 8)
+        assert p.predict(16) == pytest.approx(190)
+
+    def test_single_point_suffices(self):
+        p = ProportionalScaling().fit([16], [190])
+        assert p.predict(32) == pytest.approx(380)
+
+
+class TestLinear:
+    def test_two_point_fit_is_exact_interpolation(self):
+        p = LinearRegression().fit(SIZES, [100, 190])
+        assert p.predict(8) == pytest.approx(100)
+        assert p.predict(16) == pytest.approx(190)
+        assert p.predict(128) == pytest.approx(100 + (90 / 8) * 120)
+
+    def test_least_squares_three_points(self):
+        p = LinearRegression().fit([1, 2, 3], [2, 4, 6])
+        assert p.predict(10) == pytest.approx(20, rel=1e-6)
+
+
+class TestPowerLaw:
+    def test_exact_on_power_data(self):
+        data = [(8, 3 * 8**0.8), (16, 3 * 16**0.8)]
+        p = PowerLawRegression().fit([x for x, __ in data], [y for __, y in data])
+        assert p.predict(128) == pytest.approx(3 * 128**0.8, rel=1e-9)
+
+    def test_linear_data_gives_exponent_one(self):
+        p = PowerLawRegression().fit(SIZES, [80, 160])
+        assert p.predict(128) == pytest.approx(1280, rel=1e-9)
+
+
+class TestLogarithmic:
+    def test_paper_form_a_log2(self):
+        # y = a*log2(x): fit on a single consistent dataset.
+        p = LogarithmicRegression().fit([8, 16], [30, 40])
+        # least squares a = (3*30 + 4*40)/(9+16) = 10
+        assert p.predict(128) == pytest.approx(70)
+
+    def test_badly_underpredicts_linear_scaling(self):
+        """The motivation for the paper: log regression cannot track GPU
+        scaling (it was designed for CPU multi-program workloads)."""
+        p = LogarithmicRegression().fit(SIZES, [100, 200])
+        assert p.predict(128) < 0.4 * 1600
+
+
+class TestRegistryAndValidation:
+    def test_method_names(self):
+        assert set(METHOD_NAMES) == {
+            "logarithmic", "proportional", "linear", "power-law", "scale-model",
+        }
+
+    def test_make_predictor(self):
+        for name in METHOD_NAMES:
+            if name == "scale-model":
+                with pytest.raises(PredictionError):
+                    make_predictor(name)
+            else:
+                assert make_predictor(name).name == name
+
+    def test_predict_before_fit(self):
+        with pytest.raises(PredictionError):
+            LinearRegression().predict(10)
+
+    def test_fit_validation(self):
+        with pytest.raises(PredictionError):
+            LinearRegression().fit([8], [100])  # too few
+        with pytest.raises(PredictionError):
+            LinearRegression().fit([8, 16], [100])  # mismatched
+        with pytest.raises(PredictionError):
+            PowerLawRegression().fit([8, 16], [0.0, 1.0])  # non-positive
+        p = LinearRegression().fit(SIZES, [1.0, 2.0])
+        with pytest.raises(PredictionError):
+            p.predict(0)
+
+    @given(
+        ipc8=st.floats(min_value=1, max_value=1e4),
+        ratio=st.floats(min_value=1.05, max_value=2.5),
+    )
+    def test_all_methods_positive_on_growing_profiles(self, ipc8, ratio):
+        ipcs = [ipc8, ipc8 * ratio]
+        for name in METHOD_NAMES:
+            if name == "scale-model":
+                continue
+            value = make_predictor(name).fit(SIZES, ipcs).predict(128)
+            assert value > 0
+            assert math.isfinite(value)

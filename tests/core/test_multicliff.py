@@ -1,0 +1,126 @@
+"""Multi-cliff predictor tests (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core.model import ScaleModelPredictor
+from repro.core.multicliff import MultiCliffPredictor, find_all_cliffs
+from repro.core.profile import ScaleModelProfile
+from repro.exceptions import PredictionError
+from repro.mrc.curve import MissRateCurve
+from repro.units import MB
+
+PER_SM = 34 * MB / 128
+
+
+def curve(mpki):
+    caps = tuple(int(PER_SM * 8 * 2**i) for i in range(len(mpki)))
+    return MissRateCurve("t", caps, tuple(mpki))
+
+
+def profile(mpki, ipc8=100.0, ipc16=190.0, f_mem=0.5):
+    return ScaleModelProfile(
+        "t", (8, 16), (ipc8, ipc16), f_mem=f_mem, curve=curve(mpki)
+    )
+
+
+class TestFindAllCliffs:
+    def test_two_cliffs(self):
+        cliffs = find_all_cliffs(curve([8.0, 3.0, 3.0, 1.0, 1.0]))
+        assert [c.step_index for c in cliffs] == [0, 2]
+        assert cliffs[0].mpki_drop == pytest.approx(5.0)
+        assert cliffs[1].mpki_drop == pytest.approx(2.0)
+
+    def test_no_cliffs(self):
+        assert find_all_cliffs(curve([5.0, 4.0, 3.5, 3.0, 2.8])) == []
+
+    def test_threshold_validation(self):
+        with pytest.raises(PredictionError):
+            find_all_cliffs(curve([2.0, 1.0]), threshold=0.5)
+
+
+class TestAgreementWithSingleCliff:
+    def test_no_cliff_matches_eq2_when_c_is_1(self):
+        prof = profile([3.0, 3.0, 3.0, 3.0, 3.0], ipc16=200.0)
+        multi, __ = MultiCliffPredictor(prof).predict(128)
+        single = ScaleModelPredictor(prof).predict(128).ipc
+        assert multi == pytest.approx(single)
+
+    def test_no_cliff_compounds_correction_per_doubling(self):
+        """The walker applies C per doubling (C^3 over 16 -> 128); the
+        paper's Eq. 2 applies it once.  Both agree at C = 1."""
+        prof = profile([3.0] * 5)  # C = 0.95
+        multi, __ = MultiCliffPredictor(prof).predict(128)
+        c = prof.correction_factor()
+        assert multi == pytest.approx(190.0 * (2 * c) ** 3)
+        single = ScaleModelPredictor(prof).predict(128).ipc
+        assert multi == pytest.approx(single * c * c)
+
+    def test_single_cliff_matches_eq3(self):
+        # Cliff between 17 MB (64 SMs) and 34 MB (128 SMs).
+        prof = profile([2.1, 2.1, 2.1, 2.1, 0.2])
+        multi, log = MultiCliffPredictor(prof).predict(128)
+        single = ScaleModelPredictor(prof).predict(128).ipc
+        # Single-cliff chain: x2C per smooth step, then the cliff relief.
+        # Eq. 3 applies T/L (no C on the smooth part), so the two differ
+        # by C^2; both are exact when C = 1.
+        prof_c1 = profile([2.1, 2.1, 2.1, 2.1, 0.2], ipc16=200.0)
+        multi_c1, __ = MultiCliffPredictor(prof_c1).predict(128)
+        single_c1 = ScaleModelPredictor(prof_c1).predict(128).ipc
+        assert multi_c1 == pytest.approx(single_c1)
+        assert any("cliff" in line for line in log)
+
+    def test_post_cliff_chain_matches_eq4_when_c_is_1(self):
+        prof = profile([2.1, 2.1, 2.1, 0.2, 0.2], ipc16=200.0)
+        multi, __ = MultiCliffPredictor(prof).predict(128)
+        single = ScaleModelPredictor(prof).predict(128).ipc
+        assert multi == pytest.approx(single)
+
+
+class TestTwoCliffs:
+    def test_each_cliff_relieves_its_share(self):
+        # Drops: 8->4 (w=2/3) at step 1 and 4->2 (w=1/3) at step 3.
+        prof = profile([8.0, 8.0, 4.0, 4.0, 1.9], ipc16=200.0, f_mem=0.6)
+        predictor = MultiCliffPredictor(prof, threshold=1.9)
+        assert len(predictor.cliffs) == 2
+        ipc, log = predictor.predict(128)
+        w1 = 4.0 / 6.1
+        w2 = 2.1 / 6.1
+        expected = (
+            200.0
+            * 2.0 / (1 - 0.6 * w1)   # 16 -> 32: first cliff
+            * 2.0                     # 32 -> 64: smooth (C = 1)
+            * 2.0 / (1 - 0.6 * w2)   # 64 -> 128: second cliff
+        )
+        assert ipc == pytest.approx(expected)
+        assert sum("cliff" in line for line in log) == 2
+
+    def test_shares_sum_to_one(self):
+        prof = profile([8.0, 8.0, 4.0, 4.0, 1.9], f_mem=0.6)
+        predictor = MultiCliffPredictor(prof, threshold=1.9)
+        total = sum(predictor.stall_share(c) for c in predictor.cliffs)
+        assert total == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_requires_curve(self):
+        prof = ScaleModelProfile("t", (8, 16), (100.0, 190.0), f_mem=0.5)
+        with pytest.raises(PredictionError):
+            MultiCliffPredictor(prof)
+
+    def test_requires_f_mem_at_cliffs(self):
+        prof = ScaleModelProfile(
+            "t", (8, 16), (100.0, 190.0), f_mem=None,
+            curve=curve([2.1, 2.1, 2.1, 2.1, 0.2]),
+        )
+        with pytest.raises(PredictionError, match="f_mem"):
+            MultiCliffPredictor(prof).predict(128)
+
+    def test_target_below_largest_model(self):
+        prof = profile([3.0] * 5)
+        with pytest.raises(PredictionError):
+            MultiCliffPredictor(prof).predict(8)
+
+    def test_unsampled_size(self):
+        prof = profile([3.0] * 5)
+        with pytest.raises(PredictionError):
+            MultiCliffPredictor(prof).predict(100)

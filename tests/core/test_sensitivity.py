@@ -1,0 +1,78 @@
+"""Predictor input-sensitivity tests."""
+
+import pytest
+
+from repro.core.profile import ScaleModelProfile
+from repro.core.sensitivity import (
+    region_stability,
+    sensitivity_report,
+)
+from repro.exceptions import PredictionError
+from repro.mrc.curve import MissRateCurve
+from repro.units import MB
+
+PER_SM = 34 * MB / 128
+
+
+def curve(mpki):
+    caps = tuple(int(PER_SM * 8 * 2**i) for i in range(len(mpki)))
+    return MissRateCurve("t", caps, tuple(mpki))
+
+
+def profile(mpki=None, f_mem=0.5):
+    return ScaleModelProfile(
+        "t", (8, 16), (100.0, 190.0), f_mem=f_mem,
+        curve=curve(mpki) if mpki else None,
+    )
+
+
+class TestSensitivityReport:
+    def test_pre_cliff_ipc_large_dominates(self):
+        report = sensitivity_report(profile(), 128)
+        # IPC_L appears in the anchor and in C: ~(1+e)^2 - 1.
+        assert report.sensitivities["ipc_large"][0.05] == pytest.approx(
+            1.05**2 - 1, rel=1e-6
+        )
+        # IPC_S appears only in C, inversely.
+        assert report.sensitivities["ipc_small"][0.05] == pytest.approx(
+            1 / 1.05 - 1, rel=1e-6
+        )
+
+    def test_f_mem_ignored_pre_cliff(self):
+        report = sensitivity_report(profile(), 128)
+        assert all(v == 0.0 for v in report.sensitivities["f_mem"].values())
+
+    def test_f_mem_amplified_at_cliff(self):
+        report = sensitivity_report(
+            profile(mpki=[2.0, 2.0, 2.0, 2.0, 0.1]), 128
+        )
+        # d(1/(1-f))/df amplifies: +10% on f=0.5 -> 1/(1-0.55)/2 = +11.1%.
+        assert report.sensitivities["f_mem"][0.10] == pytest.approx(
+            (1 - 0.5) / (1 - 0.55) - 1, rel=1e-6
+        )
+        assert report.worst_case("f_mem") > report.worst_case("ipc_small") / 2
+
+    def test_rows_rendering(self):
+        rows = sensitivity_report(profile(), 64).as_rows()
+        assert all(len(r) == 3 for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            sensitivity_report(profile(), 128, perturbations=())
+
+
+class TestRegionStability:
+    def test_flat_curve_always_stable(self):
+        stability = region_stability(curve([3.0] * 5))
+        assert all(stability.values())
+
+    def test_sharp_cliff_stable_to_small_noise(self):
+        stability = region_stability(curve([2.0, 2.0, 2.0, 2.0, 0.1]),
+                                     noise_levels=(0.05,))
+        assert stability[0.05]
+
+    def test_borderline_cliff_flips_under_noise(self):
+        # Drop ratio 2.05: barely a cliff; 10% point noise can erase it.
+        stability = region_stability(curve([2.05, 2.05, 2.05, 2.05, 1.0]),
+                                     noise_levels=(0.10,))
+        assert not stability[0.10]

@@ -1,0 +1,92 @@
+"""Trained one-size-fits-all model tests."""
+
+import pytest
+
+from repro.core.trained import TrainedScalingModel, leave_one_out_errors
+from repro.exceptions import PredictionError
+
+
+def linear_curve(per_sm=10.0):
+    return {n: per_sm * n for n in (8, 16, 32, 64, 128)}
+
+
+def cliff_curve(per_sm=10.0, boost=3.0):
+    curve = linear_curve(per_sm)
+    curve[128] *= boost
+    return curve
+
+
+class TestTraining:
+    def test_identical_training_curves_learned_exactly(self):
+        model = TrainedScalingModel(16).fit([linear_curve(), linear_curve(5)])
+        assert model.curve[128] == pytest.approx(8.0)
+        assert model.curve[8] == pytest.approx(0.5)
+
+    def test_geometric_mean_of_heterogeneous_curves(self):
+        model = TrainedScalingModel(16).fit(
+            [linear_curve(), cliff_curve(boost=4.0)]
+        )
+        # geomean(8, 32) = 16.
+        assert model.curve[128] == pytest.approx(16.0)
+
+    def test_prediction_scales_anchor(self):
+        model = TrainedScalingModel(16).fit([linear_curve()])
+        assert model.predict(200.0, 128) == pytest.approx(1600.0)
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            TrainedScalingModel(0)
+        with pytest.raises(PredictionError):
+            TrainedScalingModel(16).fit([])
+        with pytest.raises(PredictionError):
+            TrainedScalingModel(16).fit([{8: 1.0}])  # anchor missing
+        model = TrainedScalingModel(16).fit([linear_curve()])
+        with pytest.raises(PredictionError):
+            model.predict(100.0, 1000)  # untrained size
+        with pytest.raises(PredictionError):
+            TrainedScalingModel(16).predict(1.0, 128)  # unfitted
+
+
+class TestLeaveOneOut:
+    def test_homogeneous_training_is_accurate(self):
+        curves = {f"b{i}": linear_curve(5 + i) for i in range(4)}
+        errors = leave_one_out_errors(curves, anchor_size=16, target_size=128)
+        assert max(errors.values()) < 1e-9
+
+    def test_outlier_workload_is_mispredicted(self):
+        """The paper's argument: a super-linear workload predicted from a
+        linear training set misses its cliff entirely."""
+        curves = {f"lin{i}": linear_curve(5 + i) for i in range(5)}
+        curves["dct-like"] = cliff_curve(boost=3.0)
+        errors = leave_one_out_errors(curves, 16, 128)
+        assert errors["dct-like"] > 0.5          # misses the 3x cliff
+        # ...and the outlier barely pollutes the others' predictions.
+        others = [e for name, e in errors.items() if name != "dct-like"]
+        assert max(others) < 0.35
+
+    def test_needs_two_benchmarks(self):
+        with pytest.raises(PredictionError):
+            leave_one_out_errors({"a": linear_curve()}, 16, 128)
+
+
+class TestAgainstRealSuite:
+    def test_trained_model_loses_to_per_workload_prediction(self):
+        """On the real 21-benchmark suite the trained global model must be
+        substantially worse than per-workload scale-model prediction —
+        the quantitative version of Section II's argument."""
+        from repro.analysis.runner import CachedRunner
+        from repro.analysis.experiments import figure4_strong_accuracy
+        from repro.workloads import STRONG_SCALING
+
+        runner = CachedRunner()
+        curves = {}
+        for abbr, spec in STRONG_SCALING.items():
+            curves[abbr] = {
+                n: runner.simulate(spec, n).ipc for n in (8, 16, 32, 64, 128)
+            }
+        trained = leave_one_out_errors(curves, anchor_size=16, target_size=128)
+        trained_avg = sum(trained.values()) / len(trained)
+
+        fig4 = figure4_strong_accuracy(128, runner=runner)
+        scale_model_avg = fig4.mean_error("scale-model")
+        assert trained_avg > scale_model_avg

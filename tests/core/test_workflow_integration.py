@@ -1,0 +1,55 @@
+"""End-to-end workflow integration tests with the real simulator.
+
+These use the cheapest real benchmark (weak-scaling va at small sizes) so
+the default ``simulate_fn``/``mrc_fn`` paths are exercised for real.
+"""
+
+import pytest
+
+from repro.core import predict_strong_scaling, predict_weak_scaling
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def weak_study():
+    return predict_weak_scaling(
+        get_benchmark("va", weak=True),
+        scale_sizes=(8, 16),
+        target_sizes=(32,),
+    )
+
+
+class TestRealWeakWorkflow:
+    def test_produces_all_methods(self, weak_study):
+        assert set(weak_study.predictions) == {
+            "scale-model", "proportional", "linear", "power-law", "logarithmic",
+        }
+
+    def test_actuals_recorded(self, weak_study):
+        assert 32 in weak_study.actuals
+        assert weak_study.actuals[32] > 0
+
+    def test_linear_weak_benchmark_predicted_well(self, weak_study):
+        # va is linear under weak scaling; one doubling beyond the largest
+        # model should land close for the trend-based methods.
+        assert weak_study.errors("scale-model")[32] < 0.15
+        assert weak_study.errors("proportional")[32] < 0.20
+
+    def test_profile_shape(self, weak_study):
+        assert weak_study.profile.sizes == (8, 16)
+        assert weak_study.profile.curve is None
+        assert 0.0 <= weak_study.profile.f_mem < 1.0
+
+
+class TestRealStrongWorkflow:
+    def test_default_mrc_and_simulation_paths(self):
+        # Use the real default paths end to end on a small target set.
+        study = predict_strong_scaling(
+            get_benchmark("lu"),
+            scale_sizes=(8, 16),
+            target_sizes=(32,),
+            include_actuals=False,
+        )
+        assert study.profile.curve is not None
+        assert len(study.profile.curve) == 5
+        assert study.predictions["scale-model"][32] > 0

@@ -1,0 +1,92 @@
+"""Event queue ordering, cancellation and determinism tests."""
+
+import pytest
+
+from repro.engine.event import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, fired.append, "c")
+        q.push(1.0, fired.append, "a")
+        q.push(2.0, fired.append, "b")
+        while (entry := q.pop_entry()) is not None:
+            __, callback, args = entry
+            callback(*args)
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        q = EventQueue()
+        fired = []
+        for tag in range(10):
+            q.push(5.0, fired.append, tag)
+        while (entry := q.pop_entry()) is not None:
+            entry[1](*entry[2])
+        assert fired == list(range(10))
+
+    def test_peek_time_does_not_remove(self):
+        q = EventQueue()
+        q.push(7.0, lambda: None)
+        assert q.peek_time() == 7.0
+        assert len(q) == 1
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.pop_entry() is None
+        assert q.peek_time() is None
+        assert len(q) == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_not_fired(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1.0, fired.append, "dead")
+        q.push(2.0, fired.append, "alive")
+        handle.cancel()
+        assert handle.cancelled
+        while (entry := q.pop_entry()) is not None:
+            entry[1](*entry[2])
+        assert fired == ["alive"]
+
+    def test_peek_skips_cancelled_head(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        handle.cancel()
+        assert q.peek_time() == 2.0
+
+    def test_fire_on_cancelled_is_noop(self):
+        q = EventQueue()
+        fired = []
+        handle = q.push(1.0, fired.append, 1)
+        handle.cancel()
+        handle.fire()
+        assert fired == []
+
+
+class TestEventHandle:
+    def test_exposes_time_and_seq(self):
+        q = EventQueue()
+        a = q.push(1.5, lambda: None)
+        b = q.push(1.5, lambda: None)
+        assert a.time == 1.5
+        assert b.seq == a.seq + 1
+
+    def test_push_entry_reinserts(self):
+        q = EventQueue()
+        fired = []
+        q.push_entry(4.0, fired.append, ("x",))
+        entry = q.pop_entry()
+        assert entry[0] == 4.0
+        entry[1](*entry[2])
+        assert fired == ["x"]
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.clear()
+        assert len(q) == 0

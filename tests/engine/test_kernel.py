@@ -1,0 +1,105 @@
+"""Simulation-kernel (clock + event loop) tests."""
+
+import pytest
+
+from repro.engine.kernel import SimulationKernel
+from repro.exceptions import SimulationError
+
+
+class TestScheduling:
+    def test_schedule_relative(self):
+        k = SimulationKernel()
+        seen = []
+        k.schedule(5.0, lambda: seen.append(k.now))
+        k.run()
+        assert seen == [5.0]
+
+    def test_schedule_absolute(self):
+        k = SimulationKernel()
+        seen = []
+        k.schedule_at(3.0, lambda: seen.append(k.now))
+        k.run()
+        assert seen == [3.0]
+
+    def test_cannot_schedule_into_past(self):
+        k = SimulationKernel()
+        k.schedule_at(10.0, lambda: None)
+        k.run()
+        assert k.now == 10.0
+        with pytest.raises(SimulationError):
+            k.schedule_at(5.0, lambda: None)
+        with pytest.raises(SimulationError):
+            k.schedule(-1.0, lambda: None)
+
+    def test_events_cascade(self):
+        k = SimulationKernel()
+        order = []
+
+        def first():
+            order.append("first")
+            k.schedule(2.0, second)
+
+        def second():
+            order.append("second")
+
+        k.schedule(1.0, first)
+        k.run()
+        assert order == ["first", "second"]
+        assert k.now == 3.0
+
+
+class TestRunControl:
+    def test_until_is_inclusive(self):
+        k = SimulationKernel()
+        seen = []
+        k.schedule_at(5.0, seen.append, "at5")
+        k.schedule_at(6.0, seen.append, "at6")
+        k.run(until=5.0)
+        assert seen == ["at5"]
+        assert k.now == 5.0
+        k.run()
+        assert seen == ["at5", "at6"]
+
+    def test_event_beyond_until_is_preserved(self):
+        k = SimulationKernel()
+        seen = []
+        k.schedule_at(10.0, seen.append, "later")
+        k.run(until=3.0)
+        assert seen == []
+        assert k.pending_events == 1
+        k.run()
+        assert seen == ["later"]
+
+    def test_max_events(self):
+        k = SimulationKernel()
+        seen = []
+        for i in range(5):
+            k.schedule_at(float(i), seen.append, i)
+        k.run(max_events=2)
+        assert seen == [0, 1]
+
+    def test_stop_from_handler(self):
+        k = SimulationKernel()
+        seen = []
+        k.schedule_at(1.0, lambda: (seen.append(1), k.stop()))
+        k.schedule_at(2.0, seen.append, 2)
+        k.run()
+        assert seen == [1]
+        k.run()
+        assert seen == [1, 2]
+
+    def test_events_processed_counter(self):
+        k = SimulationKernel()
+        for i in range(7):
+            k.schedule_at(float(i), lambda: None)
+        k.run()
+        assert k.events_processed == 7
+
+    def test_reset(self):
+        k = SimulationKernel()
+        k.schedule_at(4.0, lambda: None)
+        k.run()
+        k.reset()
+        assert k.now == 0.0
+        assert k.pending_events == 0
+        assert k.events_processed == 0

@@ -1,0 +1,142 @@
+"""Resource primitive tests: FIFO server, bandwidth link, token pool."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.resource import BandwidthResource, FifoServer, TokenPool
+from repro.exceptions import SimulationError
+
+
+class TestFifoServer:
+    def test_idle_server_serves_immediately(self):
+        s = FifoServer()
+        assert s.service(10.0, 5.0) == 15.0
+
+    def test_busy_server_queues(self):
+        s = FifoServer()
+        s.service(0.0, 10.0)
+        assert s.service(2.0, 5.0) == 15.0  # starts at 10, not 2
+
+    def test_gap_leaves_idle_time(self):
+        s = FifoServer()
+        s.service(0.0, 1.0)
+        assert s.service(100.0, 1.0) == 101.0
+
+    def test_busy_time_accumulates_service_only(self):
+        s = FifoServer()
+        s.service(0.0, 3.0)
+        s.service(0.0, 4.0)
+        assert s.busy_time == 7.0
+        assert s.requests == 2
+
+    def test_utilization(self):
+        s = FifoServer()
+        s.service(0.0, 25.0)
+        assert s.utilization(100.0) == pytest.approx(0.25)
+        assert s.utilization(0.0) == 0.0
+        assert s.utilization(10.0) == 1.0  # clamped
+
+    def test_negative_service_rejected(self):
+        s = FifoServer()
+        with pytest.raises(SimulationError):
+            s.service(0.0, -1.0)
+
+    def test_reset(self):
+        s = FifoServer()
+        s.service(0.0, 5.0)
+        s.reset()
+        assert s.next_free == 0.0
+        assert s.busy_time == 0.0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.floats(min_value=0, max_value=1e3),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_completions_monotone_for_sorted_arrivals(self, reqs):
+        """FIFO property: with time-ordered arrivals, completions are
+        non-decreasing and never precede the arrival."""
+        reqs.sort(key=lambda r: r[0])
+        s = FifoServer()
+        last = 0.0
+        for now, service in reqs:
+            done = s.service(now, service)
+            assert done >= now + service
+            assert done >= last
+            last = done
+
+
+class TestBandwidthResource:
+    def test_transfer_time_from_rate(self):
+        link = BandwidthResource(128.0)  # 128 bytes/cycle
+        assert link.transfer(0.0, 256.0) == pytest.approx(2.0)
+
+    def test_transfers_serialize(self):
+        link = BandwidthResource(1.0)
+        link.transfer(0.0, 10.0)
+        assert link.transfer(0.0, 5.0) == pytest.approx(15.0)
+
+    def test_bytes_moved(self):
+        link = BandwidthResource(10.0)
+        link.transfer(0.0, 100.0)
+        link.transfer(0.0, 50.0)
+        assert link.bytes_moved == 150.0
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(SimulationError):
+            BandwidthResource(0.0)
+
+    def test_negative_bytes_rejected(self):
+        link = BandwidthResource(1.0)
+        with pytest.raises(SimulationError):
+            link.transfer(0.0, -1.0)
+
+
+class TestTokenPool:
+    def test_acquire_below_capacity_is_free(self):
+        pool = TokenPool(2)
+        assert pool.acquire(5.0) == 5.0
+        pool.hold(100.0)
+        assert pool.acquire(6.0) == 6.0
+
+    def test_acquire_at_capacity_waits_for_earliest(self):
+        pool = TokenPool(2)
+        pool.hold(50.0)
+        pool.hold(80.0)
+        assert pool.acquire(10.0) == 50.0
+        assert pool.total_wait_time == 40.0
+
+    def test_acquire_after_release_is_free(self):
+        pool = TokenPool(1)
+        pool.hold(50.0)
+        assert pool.acquire(60.0) == 60.0
+
+    def test_hold_evicts_earliest_at_capacity(self):
+        pool = TokenPool(1)
+        pool.hold(50.0)
+        pool.hold(70.0)  # replaces the 50.0 entry
+        assert pool.acquire(0.0) == 70.0
+
+    def test_in_flight(self):
+        pool = TokenPool(4)
+        pool.hold(10.0)
+        pool.hold(20.0)
+        assert pool.in_flight(15.0) == 1
+        assert pool.in_flight(5.0) == 2
+        assert pool.in_flight(25.0) == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(SimulationError):
+            TokenPool(0)
+
+    def test_reset(self):
+        pool = TokenPool(1)
+        pool.hold(10.0)
+        pool.reset()
+        assert pool.acquired == 0
+        assert pool.acquire(0.0) == 0.0

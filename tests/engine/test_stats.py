@@ -1,0 +1,95 @@
+"""Statistics helper tests."""
+
+import pytest
+
+from repro.engine.stats import BusyTracker, Counter, StateTimeTracker
+
+
+class TestCounter:
+    def test_add_and_get(self):
+        c = Counter()
+        c.add("hits")
+        c.add("hits", 4)
+        assert c.get("hits") == 5
+        assert c["hits"] == 5
+
+    def test_missing_key_is_zero(self):
+        assert Counter().get("nothing") == 0
+
+    def test_as_dict_copies(self):
+        c = Counter()
+        c.add("x")
+        d = c.as_dict()
+        d["x"] = 99
+        assert c.get("x") == 1
+
+    def test_reset(self):
+        c = Counter()
+        c.add("x")
+        c.reset()
+        assert c.get("x") == 0
+
+    def test_repr_sorted(self):
+        c = Counter()
+        c.add("b")
+        c.add("a")
+        assert repr(c) == "Counter(a=1, b=1)"
+
+
+class TestBusyTracker:
+    def test_accumulates_intervals(self):
+        t = BusyTracker()
+        t.record(0.0, 5.0)
+        t.record(10.0, 12.0)
+        assert t.busy_time == 7.0
+        assert t.last_end == 12.0
+
+    def test_utilization(self):
+        t = BusyTracker()
+        t.record(0.0, 30.0)
+        assert t.utilization(100.0) == pytest.approx(0.3)
+        assert t.utilization(0.0) == 0.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            BusyTracker().record(5.0, 3.0)
+
+    def test_reset(self):
+        t = BusyTracker()
+        t.record(0.0, 5.0)
+        t.reset()
+        assert t.busy_time == 0.0
+
+
+class TestStateTimeTracker:
+    def test_single_transition(self):
+        t = StateTimeTracker("idle")
+        t.transition(10.0, "active")
+        t.finish(25.0)
+        assert t.time_in("idle") == 10.0
+        assert t.time_in("active") == 15.0
+
+    def test_repeated_states_accumulate(self):
+        t = StateTimeTracker("idle")
+        t.transition(5.0, "active")
+        t.transition(8.0, "idle")
+        t.transition(10.0, "active")
+        t.finish(11.0)
+        assert t.time_in("idle") == 7.0
+        assert t.time_in("active") == 4.0
+
+    def test_fraction_in(self):
+        t = StateTimeTracker("a")
+        t.transition(25.0, "b")
+        t.finish(100.0)
+        assert t.fraction_in("a", 100.0) == pytest.approx(0.25)
+        assert t.fraction_in("a", 0.0) == 0.0
+
+    def test_time_cannot_go_backwards(self):
+        t = StateTimeTracker("a")
+        t.transition(10.0, "b")
+        with pytest.raises(ValueError):
+            t.transition(5.0, "a")
+
+    def test_unknown_state_is_zero(self):
+        assert StateTimeTracker("a").time_in("zzz") == 0.0

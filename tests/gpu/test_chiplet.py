@@ -1,0 +1,121 @@
+"""Multi-chiplet (MCM) GPU model tests."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.gpu.chiplet import McmMemory, McmSimulator, simulate_mcm
+from repro.gpu.config import GPUConfig, McmConfig
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+from repro.units import GHZ, MB
+
+
+def tiny_mcm(num_chiplets=2) -> McmConfig:
+    chiplet = GPUConfig(
+        num_sms=2,
+        sm_clock_hz=1.0 * GHZ,
+        llc_size=1 * MB,
+        llc_slices=2,
+        num_mcs=1,
+        capacity_scale=1.0,
+        latency_jitter=0.0,
+        name="tiny-chiplet",
+    )
+    return McmConfig(
+        num_chiplets=num_chiplets,
+        chiplet=chiplet,
+        page_size=4096,
+        name="tiny-mcm",
+    )
+
+
+def workload(num_ctas=8, accesses=6, stride=1, compute=4):
+    def build(cta_id):
+        warps = []
+        for w in range(2):
+            base = (cta_id * 2 + w) * accesses * stride
+            lines = [base + i * stride for i in range(accesses)]
+            warps.append(WarpTrace([compute] * accesses, lines))
+        return CTATrace(cta_id, warps)
+
+    return WorkloadTrace("mcm-wl", [KernelTrace("k", num_ctas, 64, build)])
+
+
+class TestFirstTouchPlacement:
+    def test_first_toucher_becomes_home(self):
+        mem = McmMemory(tiny_mcm())
+        mem.access(0, 100, 0.0)  # SM 0 -> chiplet 0
+        assert mem.page_home[100 // 32] == 0
+        mem.access(2, 5000, 0.0)  # SM 2 -> chiplet 1
+        assert mem.page_home[5000 // 32] == 1
+
+    def test_remote_access_counted_and_slower(self):
+        mem = McmMemory(tiny_mcm())
+        t_local, __ = mem.access(0, 100, 0.0)
+        # Same page from chiplet 1, long after the line left the L1s:
+        t_remote, __ = mem.access(2, 101, 50000.0)
+        assert mem.remote_accesses == 1
+        assert mem.local_accesses == 1
+        # Remote crosses two inter-chiplet links and three NoCs.
+        assert (t_remote - 50000.0) > (t_local - 0.0)
+
+    def test_home_is_sticky(self):
+        mem = McmMemory(tiny_mcm())
+        mem.access(0, 100, 0.0)
+        mem.access(2, 100, 10.0)
+        assert mem.home_of(100, toucher=1) == 0
+
+
+class TestMcmSimulator:
+    def test_runs_and_reports_chiplets(self):
+        result = simulate_mcm(tiny_mcm(), workload())
+        assert result.num_sms == 4  # 2 chiplets x 2 SMs
+        assert result.extra["num_chiplets"] == 2.0
+        assert 0.0 <= result.extra["remote_fraction"] <= 1.0
+        assert result.ipc > 0
+
+    def test_deterministic(self):
+        a = simulate_mcm(tiny_mcm(), workload())
+        b = simulate_mcm(tiny_mcm(), workload())
+        assert a.cycles == b.cycles
+
+    def test_private_data_stays_local(self):
+        """CTA-private streams are first-touched by their own chiplet, so
+        with page-aligned strides remote traffic stays low."""
+        wl = workload(num_ctas=8, accesses=32, stride=32)  # page-strided
+        result = simulate_mcm(tiny_mcm(), wl)
+        assert result.extra["remote_fraction"] < 0.2
+
+    def test_shared_data_goes_remote(self):
+        def build(cta_id):
+            lines = list(range(64))  # everyone reads the same pages
+            return CTATrace(cta_id, [WarpTrace([2] * 64, lines)])
+
+        wl = WorkloadTrace("shared", [KernelTrace("k", 8, 32, build)])
+        result = simulate_mcm(tiny_mcm(), wl)
+        assert result.extra["remote_fraction"] > 0.2
+
+    def test_warm_lines_respects_first_touch(self):
+        mem = McmMemory(tiny_mcm())
+        mem.warm_lines(0, 64)  # nothing placed yet: no-op
+        assert mem.page_home == {}
+        mem.access(0, 0, 0.0)
+        mem.warm_lines(0, 32)
+        sub = mem.subsystems[0]
+        assert any(s.resident_lines() for s in sub.llc_slices)
+
+    def test_aggregate_stats_sum_chiplets(self):
+        sim = McmSimulator(tiny_mcm())
+        result = sim.run(workload())
+        mem = sim.memory
+        assert result.l1_misses == mem.l1_misses
+        assert mem.llc_hits == sum(s.llc_hits for s in mem.subsystems)
+
+
+class TestMcmScaling:
+    def test_more_chiplets_faster_on_big_parallel_work(self):
+        wl2 = workload(num_ctas=64, accesses=8, stride=32)
+        r2 = simulate_mcm(tiny_mcm(2), wl2)
+        wl4 = workload(num_ctas=64, accesses=8, stride=32)
+        r4 = simulate_mcm(tiny_mcm(4), wl4)
+        assert r4.cycles < r2.cycles

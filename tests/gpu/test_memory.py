@@ -1,0 +1,152 @@
+"""Memory-subsystem tests: access path, merging, MSHRs, statistics."""
+
+import pytest
+
+from repro.gpu.config import GPUConfig
+from repro.gpu.memory import DRAM, L1_HIT, LLC_HIT, MERGED, MemorySubsystem
+
+
+def small_config(**overrides) -> GPUConfig:
+    defaults = dict(
+        num_sms=2,
+        llc_slices=2,
+        num_mcs=1,
+        capacity_scale=1.0,
+        latency_jitter=0.0,
+        name="test",
+    )
+    defaults.update(overrides)
+    return GPUConfig(**defaults)
+
+
+class TestAccessPath:
+    def test_first_access_goes_to_dram(self):
+        mem = MemorySubsystem(small_config())
+        t, where = mem.access(0, 100, 0.0)
+        assert where == DRAM
+        assert t > 400  # at least L1 + NoC + LLC + DRAM latency
+        assert mem.llc_misses == 1
+
+    def test_l1_hit_after_fill(self):
+        cfg = small_config()
+        mem = MemorySubsystem(cfg)
+        mem.access(0, 100, 0.0)
+        t, where = mem.access(0, 100, 1000.0)
+        assert where == L1_HIT
+        assert t == 1000.0 + cfg.l1_hit_latency
+        assert mem.l1_hits == 1
+
+    def test_llc_hit_from_other_sm(self):
+        mem = MemorySubsystem(small_config())
+        mem.access(0, 100, 0.0)
+        __, where = mem.access(1, 100, 5000.0)
+        assert where == LLC_HIT
+        assert mem.llc_hits == 1
+
+    def test_in_flight_merge(self):
+        mem = MemorySubsystem(small_config())
+        t1, w1 = mem.access(0, 100, 0.0)
+        # A second warp on the same SM misses L1 on the same line while the
+        # primary is still in flight: it merges and completes with it.
+        # First evict the L1 copy? No: the L1 fill happened functionally, so
+        # force a different warp pattern: access a line that maps to the
+        # same L1 set to evict, then re-access.
+        t2, w2 = mem.access(0, 100, 1.0)
+        assert w2 == L1_HIT  # functional fill makes it an L1 hit
+        assert mem.merged == 0
+
+    def test_merge_when_line_not_in_l1(self):
+        # Use an L1 with a single set and assoc 6: seven distinct lines
+        # evict the first, whose fill is still outstanding.
+        cfg = small_config(l1_size=6 * 128, l1_assoc=6)
+        mem = MemorySubsystem(cfg)
+        assert cfg.l1_sets == 1
+        t1, __ = mem.access(0, 0, 0.0)
+        for line in range(1, 7):  # evicts line 0 from the tiny L1
+            mem.access(0, line, 0.0)
+        t2, where = mem.access(0, 0, 1.0)
+        assert where == MERGED
+        assert t2 == t1
+        assert mem.merged == 1
+
+    def test_completion_after_issue_time(self):
+        mem = MemorySubsystem(small_config())
+        for i, line in enumerate(range(0, 4000, 7)):
+            t, __ = mem.access(i % 2, line, float(i))
+            assert t > i
+
+    def test_dram_latency_jitter_bounds(self):
+        cfg = small_config(latency_jitter=0.3)
+        mem = MemorySubsystem(cfg)
+        lo = hi = None
+        for i, line in enumerate(range(0, 100000, 97)):
+            t, where = mem.access(0, line, 1e9 * (i + 1))  # huge gaps: no queueing
+            if where != DRAM:
+                continue
+            lat = t - 1e9 * (i + 1)
+            lo = lat if lo is None else min(lo, lat)
+            hi = lat if hi is None else max(hi, lat)
+        spread = hi - lo
+        assert spread > 0  # jitter present
+        # Total jitter span is bounded by 0.3*(llc+dram) latencies.
+        assert spread <= 0.6 * (cfg.llc_latency + cfg.dram_latency) + 1e-6
+
+
+class TestAddressMapping:
+    def test_mapping_is_hashed_and_stable(self):
+        mem = MemorySubsystem(small_config(llc_slices=2, num_mcs=1))
+        assert mem.slice_for(123) == mem.slice_for(123)
+        assert 0 <= mem.slice_for(123) < 2
+        assert mem.mc_for(12345) == 0  # single controller
+
+    def test_hashing_spreads_consecutive_lines(self):
+        """Consecutive lines must not walk slices in lockstep order (the
+        phase-locking pathology hashing exists to break)."""
+        mem = MemorySubsystem(small_config(llc_slices=8))
+        slices = [mem.slice_for(line) for line in range(64)]
+        # Roughly balanced...
+        counts = [slices.count(s) for s in range(8)]
+        assert max(counts) <= 2 * (64 // 8)
+        # ...but NOT the identity pattern 0,1,2,...
+        assert slices[:8] != list(range(8))
+
+    def test_slice_camping_serializes(self):
+        """Concurrent accesses to one slice queue at the slice port."""
+        cfg = small_config(llc_slices=2)
+        mem = MemorySubsystem(cfg)
+        target_slice = mem.slice_for(0)
+        lines = [l for l in range(400) if mem.slice_for(l) == target_slice][:50]
+        for line in lines:
+            mem.access(1, line, 0.0)  # warm the LLC from another SM
+        base = 100000.0
+        completions = [mem.access(0, line, base)[0] for line in lines]
+        # Port throughput is 1/cycle: the last completion is pushed out by
+        # at least the queueing of its 49 predecessors.
+        assert max(completions) - min(completions) >= 45.0
+
+
+class TestStatistics:
+    def test_stats_dict(self):
+        mem = MemorySubsystem(small_config())
+        mem.access(0, 1, 0.0)
+        mem.access(0, 1, 500.0)
+        stats = mem.stats()
+        assert stats["l1_hits"] == 1
+        assert stats["l1_misses"] == 1
+        assert stats["llc_misses"] == 1
+        assert stats["noc_bytes"] > 0
+        assert stats["dram_bytes"] == 128
+
+    def test_miss_rates(self):
+        mem = MemorySubsystem(small_config())
+        assert mem.llc_miss_rate() == 0.0
+        mem.access(0, 1, 0.0)
+        assert mem.llc_miss_rate() == 1.0
+        assert mem.dram_accesses == 1
+
+    def test_extra_stats(self):
+        mem = MemorySubsystem(small_config())
+        mem.access(0, 1, 0.0)
+        extra = mem.extra_stats(1000.0)
+        assert 0.0 <= extra["noc_utilization"] <= 1.0
+        assert extra["l1_merged"] == 0.0

@@ -1,0 +1,171 @@
+"""GPU simulator integration tests on small hand-built workloads."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.gpu import GPUConfig, GPUSimulator, simulate
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+
+
+def tiny_config(**overrides) -> GPUConfig:
+    defaults = dict(
+        num_sms=2,
+        llc_slices=2,
+        num_mcs=1,
+        capacity_scale=1.0,
+        latency_jitter=0.0,
+        name="tiny",
+    )
+    defaults.update(overrides)
+    return GPUConfig(**defaults)
+
+
+def uniform_workload(
+    num_ctas=4,
+    warps_per_cta=2,
+    accesses=5,
+    compute=8,
+    threads_per_cta=64,
+    line_stride=1,
+    name="wl",
+) -> WorkloadTrace:
+    def build(cta_id):
+        warps = []
+        for w in range(warps_per_cta):
+            base = (cta_id * warps_per_cta + w) * accesses * line_stride
+            lines = [base + i * line_stride for i in range(accesses)]
+            warps.append(WarpTrace([compute] * accesses, lines))
+        return CTATrace(cta_id, warps)
+
+    kernel = KernelTrace(name + "-k0", num_ctas, threads_per_cta, build)
+    return WorkloadTrace(name, [kernel])
+
+
+class TestBasicExecution:
+    def test_completes_and_counts_instructions(self):
+        wl = uniform_workload(num_ctas=4, warps_per_cta=2, accesses=5, compute=8)
+        result = simulate(tiny_config(), wl)
+        warp_instructions = 4 * 2 * 5 * (8 + 1)
+        assert result.warp_instructions == warp_instructions
+        assert result.thread_instructions == warp_instructions * 32
+        assert result.memory_accesses == 4 * 2 * 5
+        assert result.cycles > 0
+        assert result.ipc > 0
+
+    def test_single_use(self):
+        sim = GPUSimulator(tiny_config())
+        sim.run(uniform_workload())
+        with pytest.raises(SimulationError):
+            sim.run(uniform_workload())
+
+    def test_deterministic(self):
+        r1 = simulate(tiny_config(), uniform_workload())
+        r2 = simulate(tiny_config(), uniform_workload())
+        assert r1.cycles == r2.cycles
+        assert r1.thread_instructions == r2.thread_instructions
+
+    def test_multi_kernel_sequential(self):
+        def build(cta_id):
+            return CTATrace(cta_id, [WarpTrace([1], [cta_id])])
+
+        k1 = KernelTrace("k1", 2, 32, build)
+        k2 = KernelTrace("k2", 2, 32, build)
+        result = simulate(tiny_config(), WorkloadTrace("two", [k1, k2]))
+        assert result.warp_instructions == 4 * 2
+
+    def test_tail_compute_counted(self):
+        def build(cta_id):
+            return CTATrace(cta_id, [WarpTrace([2], [0], tail_compute=10)])
+
+        result = simulate(
+            tiny_config(), WorkloadTrace("tail", [KernelTrace("k", 1, 32, build)])
+        )
+        assert result.warp_instructions == 13
+
+    def test_start_offset_delays_completion(self):
+        def build_with(offset):
+            def build(cta_id):
+                return CTATrace(
+                    cta_id, [WarpTrace([1], [0], start_offset=offset)]
+                )
+            return WorkloadTrace("o", [KernelTrace("k", 1, 32, build)])
+
+        base = simulate(tiny_config(), build_with(0.0)).cycles
+        delayed = simulate(tiny_config(), build_with(500.0)).cycles
+        assert delayed == pytest.approx(base + 500.0)
+
+
+class TestScalingSanity:
+    def test_more_sms_never_slower_on_parallel_work(self):
+        wl_small = uniform_workload(num_ctas=32, accesses=4)
+        r2 = simulate(tiny_config(num_sms=2), wl_small)
+        wl_small = uniform_workload(num_ctas=32, accesses=4)
+        r4 = simulate(tiny_config(num_sms=4, llc_slices=4, num_mcs=2), wl_small)
+        assert r4.cycles < r2.cycles
+
+    def test_compute_bound_ipc_near_peak(self):
+        # One CTA of 2 warps with huge compute bursts: IPC per SM should
+        # approach issue_width * threads_per_warp on the active SM.
+        def build(cta_id):
+            return CTATrace(
+                cta_id,
+                [WarpTrace([5000], [w]) for w in range(2)],
+            )
+
+        cfg = tiny_config(num_sms=1)
+        result = simulate(cfg, WorkloadTrace("c", [KernelTrace("k", 1, 64, build)]))
+        peak = cfg.issue_width * cfg.threads_per_warp
+        assert result.ipc > 0.8 * peak
+
+    def test_memory_stall_fraction_bounds(self):
+        result = simulate(tiny_config(), uniform_workload(compute=0, accesses=20))
+        assert 0.0 <= result.memory_stall_fraction <= 1.0
+        # Zero-compute workload on two warps is heavily memory stalled.
+        assert result.memory_stall_fraction > 0.5
+
+
+class TestResultDerived:
+    def test_mpki_consistent_with_counts(self):
+        wl = uniform_workload(num_ctas=8, accesses=10)
+        result = simulate(tiny_config(), wl)
+        expected = 1000.0 * result.llc_misses / result.thread_instructions
+        assert result.mpki == pytest.approx(expected)
+
+    def test_summary_string(self):
+        result = simulate(tiny_config(), uniform_workload())
+        text = result.summary()
+        assert "wl" in text and "IPC" in text
+
+    def test_events_counted(self):
+        result = simulate(tiny_config(), uniform_workload())
+        assert result.events >= result.memory_accesses
+
+
+class TestKernelLaunchOverhead:
+    def _two_kernel_workload(self):
+        def build(cta_id):
+            return CTATrace(cta_id, [WarpTrace([2], [cta_id])])
+
+        kernels = [KernelTrace(f"k{i}", 2, 32, build) for i in range(2)]
+        return WorkloadTrace("two", kernels)
+
+    def test_overhead_adds_between_kernels(self):
+        base = simulate(tiny_config(), self._two_kernel_workload())
+        padded = simulate(
+            tiny_config(kernel_launch_overhead=5000.0),
+            self._two_kernel_workload(),
+        )
+        # One gap between two kernels: exactly one overhead is added.
+        assert padded.cycles == pytest.approx(base.cycles + 5000.0)
+
+    def test_single_kernel_unaffected(self):
+        wl = uniform_workload(num_ctas=2)
+        base = simulate(tiny_config(), wl)
+        wl = uniform_workload(num_ctas=2)
+        padded = simulate(tiny_config(kernel_launch_overhead=5000.0), wl)
+        assert padded.cycles == pytest.approx(base.cycles)
+
+    def test_negative_overhead_rejected(self):
+        from repro.exceptions import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            tiny_config(kernel_launch_overhead=-1.0)

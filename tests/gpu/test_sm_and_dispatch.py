@@ -1,0 +1,155 @@
+"""SM issue/stall accounting and CTA dispatcher tests."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.gpu.config import GPUConfig
+from repro.gpu.cta import CTADispatcher
+from repro.gpu.sm import StreamingMultiprocessor
+
+
+def make_sm(sm_id=0, **overrides) -> StreamingMultiprocessor:
+    cfg = GPUConfig(num_sms=4, name="t", **overrides)
+    return StreamingMultiprocessor(sm_id, cfg)
+
+
+class TestIssue:
+    def test_issue_time_uses_issue_width(self):
+        sm = make_sm()
+        finish = sm.issue(0.0, 10)  # issue_width 2 -> 5 cycles
+        assert finish == pytest.approx(5.0)
+        assert sm.warp_instructions == 10
+
+    def test_bursts_serialize_through_pipeline(self):
+        sm = make_sm()
+        sm.issue(0.0, 10)
+        assert sm.issue(0.0, 10) == pytest.approx(10.0)
+
+    def test_negative_burst_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sm().issue(0.0, -1)
+
+
+class TestOccupancyTracking:
+    def test_active_time_counts_resident_periods(self):
+        sm = make_sm()
+        sm.max_resident = 2
+        sm.cta_started(10.0)
+        sm.cta_finished(30.0)
+        sm.cta_started(50.0)
+        sm.cta_finished(60.0)
+        sm.close(100.0)
+        assert sm.active_time == pytest.approx(30.0)
+
+    def test_overlapping_ctas_single_interval(self):
+        sm = make_sm()
+        sm.max_resident = 2
+        sm.cta_started(0.0)
+        sm.cta_started(5.0)
+        sm.cta_finished(20.0)
+        sm.cta_finished(40.0)
+        sm.close(40.0)
+        assert sm.active_time == pytest.approx(40.0)
+
+    def test_residency_limit_enforced(self):
+        sm = make_sm()
+        sm.max_resident = 1
+        sm.cta_started(0.0)
+        with pytest.raises(SimulationError):
+            sm.cta_started(1.0)
+
+    def test_finish_without_start_rejected(self):
+        with pytest.raises(SimulationError):
+            make_sm().cta_finished(0.0)
+
+
+class TestMemoryStallFraction:
+    def test_fully_busy_sm_has_no_stall(self):
+        sm = make_sm()
+        sm.max_resident = 1
+        sm.cta_started(0.0)
+        sm.warp_started(0.0)
+        sm.issue(0.0, 200)
+        sm.warp_finished(100.0)
+        sm.cta_finished(100.0)
+        sm.close(100.0)
+        assert sm.memory_stall_fraction() == pytest.approx(0.0)
+
+    def test_half_stalled(self):
+        sm = make_sm()
+        sm.max_resident = 1
+        sm.cta_started(0.0)
+        sm.warp_started(0.0)
+        sm.issue(0.0, 100)          # pipeline busy 50 of 100 active cycles
+        sm.warp_finished(100.0)
+        sm.cta_finished(100.0)
+        sm.close(100.0)
+        assert sm.memory_stall_fraction() == pytest.approx(0.5)
+
+    def test_launch_stagger_not_counted_as_stall(self):
+        sm = make_sm()
+        sm.max_resident = 1
+        sm.cta_started(0.0)
+        sm.warp_started(40.0)       # 40 cycles of launch stagger
+        sm.issue(40.0, 120)         # busy 40..100
+        sm.warp_finished(100.0)
+        sm.cta_finished(100.0)
+        sm.close(100.0)
+        # Active 100, busy 60, stagger 40 -> no memory stall at all.
+        assert sm.memory_stall_fraction() == pytest.approx(0.0)
+
+    def test_unbalanced_events_rejected(self):
+        sm = make_sm()
+        with pytest.raises(SimulationError):
+            sm.warp_finished(0.0)
+
+    def test_idle_sm_reports_zero(self):
+        sm = make_sm()
+        sm.close(1000.0)
+        assert sm.memory_stall_fraction() == 0.0
+
+
+class TestDispatcher:
+    def _sms(self, n=4):
+        cfg = GPUConfig(num_sms=n, name="t")
+        return [StreamingMultiprocessor(i, cfg) for i in range(n)]
+
+    def test_initial_placement_round_robin(self):
+        sms = self._sms(2)
+        d = CTADispatcher(sms)
+        d.load_kernel(num_ctas=4, max_resident=1)
+        placements = d.initial_placements()
+        assert placements == [(0, 0), (1, 1)]
+        assert d.pending == 2
+
+    def test_waves_fill_to_residency(self):
+        sms = self._sms(2)
+        d = CTADispatcher(sms)
+        d.load_kernel(num_ctas=10, max_resident=2)
+        placements = d.initial_placements()
+        assert len(placements) == 4
+        assert [p[1] for p in placements] == [0, 1, 0, 1]
+
+    def test_fewer_ctas_than_sms(self):
+        sms = self._sms(4)
+        d = CTADispatcher(sms)
+        d.load_kernel(num_ctas=2, max_resident=6)
+        placements = d.initial_placements()
+        assert [p[1] for p in placements] == [0, 1]
+
+    def test_next_for_backfills(self):
+        sms = self._sms(2)
+        d = CTADispatcher(sms)
+        d.load_kernel(num_ctas=5, max_resident=1)
+        d.initial_placements()
+        assert d.next_for(1) == 2
+        assert d.next_for(0) == 3
+        assert d.next_for(0) == 4
+        assert d.next_for(0) is None
+
+    def test_placements_do_not_leak_reservations(self):
+        sms = self._sms(2)
+        d = CTADispatcher(sms)
+        d.load_kernel(num_ctas=4, max_resident=2)
+        d.initial_placements()
+        assert all(sm.resident_ctas == 0 for sm in sms)

@@ -1,0 +1,101 @@
+"""Set-associativity correction tests, validated against direct
+set-associative simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PredictionError
+from repro.gpu.cache import SetAssocCache
+from repro.mrc.setassoc import (
+    associativity_correction_curve,
+    hit_probability,
+    set_associative_misses,
+)
+from repro.mrc.stack_distance import StackDistanceProfiler
+
+
+class TestHitProbability:
+    def test_short_distances_always_hit(self):
+        assert hit_probability(0, 16, 4) == 1.0
+        assert hit_probability(3, 16, 4) == 1.0
+
+    def test_cold_never_hits(self):
+        assert hit_probability(-1, 16, 4) == 0.0
+
+    def test_monotone_in_distance(self):
+        probs = [hit_probability(d, 16, 4) for d in (4, 16, 64, 256)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_more_ways_help(self):
+        assert hit_probability(32, 8, 8) > hit_probability(32, 8, 2)
+
+    def test_high_associativity_close_to_fully(self):
+        # 64-way (the paper's slices): distance below capacity -> ~1.
+        assert hit_probability(500, 16, 64) > 0.98
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            hit_probability(1, 0, 4)
+
+
+class TestAgainstDirectSimulation:
+    @pytest.mark.parametrize("num_sets,assoc", [(8, 2), (16, 4), (4, 8)])
+    def test_correction_tracks_real_cache(self, num_sets, assoc):
+        rng = np.random.default_rng(7)
+        stream = rng.integers(0, 200, 6000).tolist()
+
+        profiler = StackDistanceProfiler()
+        profiler.consume(stream)
+
+        cache = SetAssocCache(num_sets, assoc)
+        for line in stream:
+            cache.access(line)
+
+        predicted = set_associative_misses(
+            profiler.histogram(), profiler.cold_misses, num_sets, assoc
+        )
+        assert predicted == pytest.approx(cache.misses, rel=0.12)
+
+    def test_fully_associative_limit(self):
+        """One set with A ways is a fully associative cache of A lines."""
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 50, 3000).tolist()
+        profiler = StackDistanceProfiler()
+        profiler.consume(stream)
+        predicted = set_associative_misses(
+            profiler.histogram(), profiler.cold_misses, num_sets=1, assoc=16
+        )
+        assert predicted == pytest.approx(profiler.misses_at(16), rel=1e-9)
+
+
+class TestCorrectionCurve:
+    def test_set_assoc_never_beats_fully_assoc(self):
+        rng = np.random.default_rng(5)
+        stream = rng.integers(0, 300, 5000).tolist()
+        profiler = StackDistanceProfiler()
+        profiler.consume(stream)
+        curve = associativity_correction_curve(
+            profiler.histogram(), profiler.cold_misses,
+            capacities_lines=[16, 64, 256], assoc=4,
+        )
+        for fully, seta in curve.values():
+            assert seta >= fully - 1e-9
+
+    def test_paper_associativity_correction_is_small(self):
+        """64-way slices: the fully-associative MRC is a sound proxy."""
+        rng = np.random.default_rng(5)
+        stream = rng.integers(0, 2000, 20000).tolist()
+        profiler = StackDistanceProfiler()
+        profiler.consume(stream)
+        curve = associativity_correction_curve(
+            profiler.histogram(), profiler.cold_misses,
+            capacities_lines=[512, 1024], assoc=64,
+        )
+        for fully, seta in curve.values():
+            assert seta <= fully * 1.05 + 1.0
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            associativity_correction_curve({}, -1, [8], 4)
+        with pytest.raises(PredictionError):
+            associativity_correction_curve({}, 0, [0], 4)

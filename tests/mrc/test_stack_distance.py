@@ -1,0 +1,135 @@
+"""Exact stack-distance profiler tests, verified against a brute-force
+reference implementation and a reference LRU simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import PredictionError
+from repro.mrc.stack_distance import (
+    COLD,
+    FenwickTree,
+    MultiCapacityLRU,
+    StackDistanceProfiler,
+)
+
+
+def brute_force_stack_distance(stream):
+    """O(n^2) reference: distinct lines between consecutive uses."""
+    out = []
+    last = {}
+    for i, line in enumerate(stream):
+        if line not in last:
+            out.append(COLD)
+        else:
+            out.append(len(set(stream[last[line] + 1 : i])))
+        last[line] = i
+    return out
+
+
+def reference_lru_misses(stream, capacity):
+    lru = []
+    misses = 0
+    for line in stream:
+        if line in lru:
+            lru.remove(line)
+        else:
+            misses += 1
+            if len(lru) >= capacity:
+                lru.pop(0)
+        lru.append(line)
+    return misses
+
+
+class TestFenwickTree:
+    def test_point_add_prefix_sum(self):
+        t = FenwickTree(8)
+        t.add(3, 5)
+        t.add(7, 2)
+        assert t.prefix_sum(2) == 0
+        assert t.prefix_sum(3) == 5
+        assert t.prefix_sum(8) == 7
+        assert t.range_sum(4, 7) == 2
+        assert t.range_sum(5, 4) == 0
+
+    def test_growth_preserves_content(self):
+        t = FenwickTree(4)
+        t.add(2, 3)
+        t.add(100, 7)  # forces growth
+        assert t.prefix_sum(2) == 3
+        assert t.prefix_sum(100) == 10
+
+    def test_invalid_index(self):
+        with pytest.raises(PredictionError):
+            FenwickTree().add(0, 1)
+        with pytest.raises(PredictionError):
+            FenwickTree().prefix_sum(-1)
+
+
+class TestStackDistances:
+    def test_textbook_example(self):
+        p = StackDistanceProfiler()
+        distances = [p.access(x) for x in [1, 2, 3, 2, 1, 1]]
+        assert distances == [COLD, COLD, COLD, 1, 2, 0]
+        assert p.cold_misses == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=15), max_size=120))
+    def test_matches_brute_force(self, stream):
+        p = StackDistanceProfiler()
+        got = [p.access(x) for x in stream]
+        assert got == brute_force_stack_distance(stream)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=150),
+        st.integers(min_value=1, max_value=12),
+    )
+    def test_miss_counts_match_lru(self, stream, capacity):
+        """The single-pass histogram reproduces any LRU cache's misses."""
+        p = StackDistanceProfiler()
+        p.consume(stream)
+        assert p.misses_at(capacity) == reference_lru_misses(stream, capacity)
+
+    def test_miss_curve_monotone_nonincreasing(self):
+        p = StackDistanceProfiler()
+        p.consume([i % 7 for i in range(100)] + list(range(50, 80)))
+        curve = p.miss_curve([1, 2, 4, 8, 16, 32])
+        assert all(a >= b for a, b in zip(curve, curve[1:]))
+
+    def test_distinct_lines(self):
+        p = StackDistanceProfiler()
+        p.consume([5, 6, 5, 7])
+        assert p.distinct_lines == 3
+
+    def test_miss_ratio(self):
+        p = StackDistanceProfiler()
+        p.consume([1, 1, 1, 1])
+        assert p.miss_ratio_at(4) == pytest.approx(0.25)
+        assert StackDistanceProfiler().miss_ratio_at(4) == 0.0
+
+    def test_negative_capacity_rejected(self):
+        p = StackDistanceProfiler()
+        p.access(1)
+        with pytest.raises(PredictionError):
+            p.misses_at(-1)
+
+
+class TestMultiCapacityLRU:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=25), min_size=1, max_size=150))
+    def test_agrees_with_stack_distance(self, stream):
+        capacities = [1, 3, 8]
+        fast = MultiCapacityLRU(capacities)
+        fast.consume(stream)
+        exact = StackDistanceProfiler()
+        exact.consume(stream)
+        assert fast.miss_curve(capacities) == exact.miss_curve(capacities)
+
+    def test_validation(self):
+        with pytest.raises(PredictionError):
+            MultiCapacityLRU([])
+        with pytest.raises(PredictionError):
+            MultiCapacityLRU([0])
+        lru = MultiCapacityLRU([2, 4])
+        with pytest.raises(PredictionError):
+            lru.miss_curve([2])

@@ -1,0 +1,81 @@
+"""Trace serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.gpu import GPUConfig, simulate
+from repro.trace.io import save_trace, load_trace
+from repro.workloads import WEAK_SCALING, build_trace
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    return str(tmp_path / "trace.npz")
+
+
+@pytest.fixture
+def workload():
+    return build_trace(WEAK_SCALING["va"])
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, workload, trace_path):
+        save_trace(workload, trace_path)
+        loaded = load_trace(trace_path)
+        assert loaded.name == workload.name
+        assert len(loaded.kernels) == len(workload.kernels)
+        assert loaded.num_ctas == workload.num_ctas
+        assert loaded.metadata["warm_region"] == workload.metadata["warm_region"]
+
+    def test_every_warp_identical(self, workload, trace_path):
+        save_trace(workload, trace_path)
+        loaded = load_trace(trace_path)
+        for k_orig, k_load in zip(workload.kernels, loaded.kernels):
+            for cta_id in (0, k_orig.num_ctas // 2, k_orig.num_ctas - 1):
+                orig = k_orig.build_cta(cta_id)
+                got = k_load.build_cta(cta_id)
+                assert len(got.warps) == len(orig.warps)
+                for w_orig, w_got in zip(orig.warps, got.warps):
+                    assert w_got.lines == w_orig.lines
+                    assert w_got.compute == w_orig.compute
+                    assert w_got.tail_compute == w_orig.tail_compute
+                    assert w_got.start_offset == w_orig.start_offset
+
+    def test_simulation_identical_after_reload(self, workload, trace_path):
+        save_trace(workload, trace_path)
+        cfg = GPUConfig.paper_system(8)
+        direct = simulate(cfg, build_trace(WEAK_SCALING["va"],
+                                           capacity_scale=cfg.capacity_scale))
+        # Save/load at the same capacity scale for a fair comparison.
+        save_trace(build_trace(WEAK_SCALING["va"],
+                               capacity_scale=cfg.capacity_scale), trace_path)
+        replay = simulate(cfg, load_trace(trace_path))
+        assert replay.cycles == direct.cycles
+        assert replay.llc_misses == direct.llc_misses
+
+    def test_version_check(self, workload, trace_path, tmp_path):
+        import json
+        save_trace(workload, trace_path)
+        data = dict(np.load(trace_path))
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        header["version"] = 99
+        data["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        bad = str(tmp_path / "bad.npz")
+        np.savez_compressed(bad, **data)
+        with pytest.raises(TraceError):
+            load_trace(bad)
+
+    def test_multi_kernel_bases(self, trace_path):
+        from repro.workloads import STRONG_SCALING
+        workload = build_trace(STRONG_SCALING["gr"])  # four kernels
+        save_trace(workload, trace_path)
+        loaded = load_trace(trace_path)
+        # CTA 0 of kernel 2 must differ from CTA 0 of kernel 0.
+        a = loaded.kernels[0].build_cta(0).warps[0].lines
+        b = loaded.kernels[2].build_cta(0).warps[0].lines
+        orig_a = workload.kernels[0].build_cta(0).warps[0].lines
+        orig_b = workload.kernels[2].build_cta(0).warps[0].lines
+        assert a == orig_a and b == orig_b

@@ -1,0 +1,89 @@
+"""Trace data-type tests."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+
+
+def warp(n=3, compute=2, tail=0, offset=0.0):
+    return WarpTrace([compute] * n, list(range(n)), tail_compute=tail,
+                     start_offset=offset)
+
+
+class TestWarpTrace:
+    def test_instruction_count(self):
+        w = WarpTrace([2, 3], [10, 20], tail_compute=4)
+        assert w.warp_instructions == 2 + 3 + 2 + 4
+        assert w.num_accesses == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            WarpTrace([1, 2], [10])
+
+    def test_negative_tail_rejected(self):
+        with pytest.raises(TraceError):
+            WarpTrace([1], [1], tail_compute=-1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TraceError):
+            WarpTrace([1], [1], start_offset=-0.5)
+
+    def test_empty_warp_allowed(self):
+        w = WarpTrace([], [], tail_compute=5)
+        assert w.warp_instructions == 5
+        assert w.num_accesses == 0
+
+
+class TestCTATrace:
+    def test_aggregates(self):
+        cta = CTATrace(0, [warp(3), warp(2)])
+        assert cta.num_warps == 2
+        assert cta.num_accesses == 5
+        assert cta.warp_instructions == (3 * 3) + (2 * 3)
+
+    def test_empty_cta_rejected(self):
+        with pytest.raises(TraceError):
+            CTATrace(0, [])
+
+
+class TestKernelTrace:
+    def _kernel(self, num_ctas=4):
+        return KernelTrace("k", num_ctas, 64, lambda cid: CTATrace(cid, [warp()]))
+
+    def test_warps_per_cta_from_threads(self):
+        assert KernelTrace("k", 1, 256, lambda c: None).warps_per_cta == 8
+        assert KernelTrace("k", 1, 32, lambda c: None).warps_per_cta == 1
+
+    def test_iter_ctas(self):
+        ids = [cta.cta_id for cta in self._kernel(3).iter_ctas()]
+        assert ids == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            KernelTrace("k", 0, 64, lambda c: None)
+        with pytest.raises(TraceError):
+            KernelTrace("k", 1, 0, lambda c: None)
+
+
+class TestWorkloadTrace:
+    def _workload(self):
+        k = KernelTrace("k", 2, 64, lambda cid: CTATrace(cid, [warp(2), warp(2)]))
+        return WorkloadTrace("w", [k, k])
+
+    def test_counts(self):
+        wl = self._workload()
+        assert wl.num_ctas == 4
+        assert wl.count_accesses() == 4 * 2 * 2
+        # each warp: 2 accesses x (2 compute + 1) = 6 warp instructions
+        assert wl.count_instructions(32) == 4 * 2 * 6 * 32
+
+    def test_iter_accesses_order(self):
+        wl = self._workload()
+        lines = list(wl.iter_accesses())
+        assert len(lines) == wl.count_accesses()
+        assert lines[:2] == [0, 1]
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadTrace("w", [])

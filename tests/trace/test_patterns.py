@@ -1,0 +1,133 @@
+"""Address-pattern generator tests, including distribution properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import TraceError
+from repro.trace import patterns
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestSequential:
+    def test_basic(self):
+        out = patterns.sequential(100, 5)
+        assert out.tolist() == [100, 101, 102, 103, 104]
+
+    def test_stride(self):
+        assert patterns.strided(0, 3, 4).tolist() == [0, 4, 8]
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            patterns.sequential(0, 0)
+        with pytest.raises(TraceError):
+            patterns.sequential(0, 5, stride=0)
+
+
+class TestCyclicSweep:
+    def test_wraps_at_working_set(self):
+        out = patterns.cyclic_sweep(10, ws_lines=4, count=6, offset=2)
+        assert out.tolist() == [12, 13, 10, 11, 12, 13]
+
+    def test_covers_every_line(self):
+        out = patterns.cyclic_sweep(0, 8, 8)
+        assert sorted(out.tolist()) == list(range(8))
+
+    @given(
+        ws=st.integers(min_value=1, max_value=100),
+        count=st.integers(min_value=1, max_value=500),
+        offset=st.integers(min_value=0, max_value=1000),
+    )
+    def test_always_within_working_set(self, ws, count, offset):
+        out = patterns.cyclic_sweep(0, ws, count, offset)
+        assert out.min() >= 0
+        assert out.max() < ws
+
+
+class TestUniformRandom:
+    def test_within_bounds_and_deterministic(self):
+        a = patterns.uniform_random(50, 100, 1000, rng(7))
+        b = patterns.uniform_random(50, 100, 1000, rng(7))
+        assert (a == b).all()
+        assert a.min() >= 50 and a.max() < 150
+
+    def test_covers_most_lines(self):
+        out = patterns.uniform_random(0, 20, 2000, rng(1))
+        assert len(np.unique(out)) == 20
+
+
+class TestZipf:
+    def test_skew_orders_popularity(self):
+        out = patterns.zipf(0, 50, 20000, rng(3), exponent=1.2)
+        counts = np.bincount(out, minlength=50)
+        # Rank 0 must be much hotter than rank 40.
+        assert counts[0] > 5 * max(1, counts[40])
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            patterns.zipf(0, 10, 5, rng(), exponent=0.0)
+
+
+class TestStencilRows:
+    def test_touches_north_neighbour(self):
+        out = patterns.stencil_rows(0, row_lines=4, num_rows=3, count=8,
+                                    offset_row=1)
+        # Pairs (cell, north) alternate: row 1 cells then row 0 cells.
+        assert out[0] == 4  # row 1 col 0
+        assert out[1] == 0  # row 0 col 0 (north)
+
+    def test_row_zero_has_no_north(self):
+        out = patterns.stencil_rows(0, 4, 3, 4, offset_row=0)
+        assert out[1] == out[0]
+
+
+class TestPointerChase:
+    def test_every_walk_starts_at_root(self):
+        out = patterns.pointer_chase_tree(1000, levels=3, fanout=4,
+                                          walks=10, rng=rng(2))
+        assert len(out) == 30
+        roots = out[::3]
+        assert (roots == 1000).all()
+
+    def test_levels_are_disjoint_regions(self):
+        out = patterns.pointer_chase_tree(0, levels=3, fanout=4, walks=50,
+                                          rng=rng(2))
+        level1 = out[1::3]
+        level2 = out[2::3]
+        assert level1.min() >= 1 and level1.max() <= 4
+        assert level2.min() >= 5 and level2.max() <= 20
+
+
+class TestHotCold:
+    def test_mix_fraction(self):
+        out = patterns.hot_cold(0, 10, 10_000, 1000, 5000, 0.5, rng(4))
+        hot = np.count_nonzero(out < 10_000)
+        assert 0.4 < hot / 5000 < 0.6
+
+    def test_all_cold(self):
+        out = patterns.hot_cold(0, 10, 10_000, 100, 50, 0.0, rng(4))
+        assert (out >= 10_000).all()
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            patterns.hot_cold(0, 10, 100, 10, 10, 1.5, rng())
+
+
+class TestInterleaveCompute:
+    def test_mean_close_to_target(self):
+        out = patterns.interleave_compute(5000, 12.0, rng(5))
+        assert abs(out.mean() - 12.0) < 0.5
+        assert (out >= 0).all()
+
+    def test_no_jitter_exact(self):
+        out = patterns.interleave_compute(10, 7.0, rng(5), jitter=0.0)
+        assert (out == 7).all()
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            patterns.interleave_compute(0, 5.0, rng())
+        with pytest.raises(TraceError):
+            patterns.interleave_compute(5, -1.0, rng())

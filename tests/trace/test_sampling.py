@@ -1,0 +1,106 @@
+"""Sieve-style kernel sampling tests."""
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+from repro.trace.sampling import kernel_signature, sieve_sample
+
+
+def make_kernel(name, num_ctas, accesses, compute):
+    def build(cta_id):
+        return CTATrace(cta_id, [WarpTrace([compute] * accesses,
+                                           list(range(accesses)))])
+    return KernelTrace(name, num_ctas, 32, build)
+
+
+def workload_with(kernels):
+    return WorkloadTrace("wl", kernels)
+
+
+class TestSignatures:
+    def test_signature_counts(self):
+        sig = kernel_signature(0, make_kernel("k", 4, 5, 3))
+        assert sig.accesses == 4 * 5
+        assert sig.warp_instructions == 4 * 5 * 4
+        assert sig.access_density == pytest.approx(0.25)
+
+    def test_feature_orders_by_work(self):
+        small = kernel_signature(0, make_kernel("s", 2, 4, 3))
+        big = kernel_signature(1, make_kernel("b", 64, 4, 3))
+        assert big.feature() > small.feature()
+
+
+class TestSievePlan:
+    def _workload(self):
+        return workload_with([
+            make_kernel("tiny-a", 2, 4, 1),
+            make_kernel("tiny-b", 2, 4, 1),
+            make_kernel("mid", 16, 8, 4),
+            make_kernel("huge", 128, 16, 8),
+        ])
+
+    def test_strata_cover_all_kernels(self):
+        plan = sieve_sample(self._workload(), max_strata=3)
+        covered = sorted(i for s in plan.strata for i in s)
+        assert covered == [0, 1, 2, 3]
+        assert len(plan.representatives) == len(plan.strata) <= 3
+
+    def test_weights_sum_to_one(self):
+        plan = sieve_sample(self._workload(), max_strata=3)
+        assert sum(plan.weights) == pytest.approx(1.0)
+
+    def test_reduced_workload_keeps_representatives_only(self):
+        plan = sieve_sample(self._workload(), max_strata=2)
+        reduced = plan.reduced_workload()
+        assert len(reduced.kernels) == len(plan.representatives)
+        assert reduced.metadata["sieve"] is True
+
+    def test_single_stratum_picks_biggest(self):
+        plan = sieve_sample(self._workload(), max_strata=1)
+        assert len(plan.representatives) == 1
+        rep = plan.signatures[plan.representatives[0]]
+        assert rep.name.startswith("huge")
+
+    def test_reduction_factor(self):
+        plan = sieve_sample(self._workload(), max_strata=1)
+        assert plan.reduction_factor > 1.0
+
+    def test_estimate_cycles_scales_by_work(self):
+        # Two identical kernels in one stratum: the representative's
+        # cycles count double.
+        wl = workload_with([
+            make_kernel("a", 8, 4, 2),
+            make_kernel("b", 8, 4, 2),
+        ])
+        plan = sieve_sample(wl, max_strata=1)
+        rep = plan.representatives[0]
+        assert plan.estimate_cycles({rep: 100.0}) == pytest.approx(200.0)
+
+    def test_estimate_requires_all_representatives(self):
+        plan = sieve_sample(self._workload(), max_strata=2)
+        with pytest.raises(TraceError):
+            plan.estimate_cycles({})
+
+    def test_exact_when_every_kernel_is_a_stratum(self):
+        wl = self._workload()
+        plan = sieve_sample(wl, max_strata=10)
+        assert len(plan.strata) == 4
+        cycles = {rep: 10.0 * (i + 1)
+                  for i, rep in enumerate(plan.representatives)}
+        assert plan.estimate_cycles(cycles) == pytest.approx(sum(cycles.values()))
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            sieve_sample(self._workload(), max_strata=0)
+
+
+class TestSieveOnRealWorkload:
+    def test_unet_multi_kernel_plan(self):
+        from repro.workloads import STRONG_SCALING, build_trace
+
+        trace = build_trace(STRONG_SCALING["unet"])
+        plan = sieve_sample(trace, max_strata=3)
+        assert 1 <= len(plan.representatives) <= 3
+        assert plan.reduction_factor > 1.0
+        assert sum(plan.weights) == pytest.approx(1.0)

@@ -1,0 +1,159 @@
+"""Trace-generator family tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.memory_regions import BYPASS_BASE
+from repro.workloads import STRONG_SCALING, WEAK_SCALING, build_trace
+from repro.workloads.generators import MAX_CTAS, lines_for_mb
+from repro.workloads.spec import BenchmarkSpec, KernelShape, ScalingBehavior
+
+
+def spec_for(family, params, ctas=32, threads=128, footprint=4.0):
+    return BenchmarkSpec(
+        abbr="t", name="T", suite="S", footprint_mb=footprint, insns_m=1.0,
+        kernels=(KernelShape(ctas, threads),),
+        scaling=ScalingBehavior.LINEAR, family=family, params=params,
+    )
+
+
+class TestLinesForMb:
+    def test_paper_unit(self):
+        # At the default 1/8 miniaturization, 1 MB = 1024 simulated lines.
+        assert lines_for_mb(1.0, 0.125) == 1024
+        assert lines_for_mb(34.0, 0.125) == 34816
+
+    def test_positive_required(self):
+        with pytest.raises(WorkloadError):
+            lines_for_mb(0.0, 0.125)
+
+
+class TestBuildTrace:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(WorkloadError):
+            build_trace(spec_for("wat", {}))
+
+    def test_work_scale_positive(self):
+        with pytest.raises(WorkloadError):
+            build_trace(spec_for("stream", {}), work_scale=0.0)
+
+    def test_deterministic_across_builds(self):
+        spec = spec_for("irregular", {"apw": 8, "sigma": 0.5})
+        a = build_trace(spec, seed=3).kernels[0].build_cta(5)
+        b = build_trace(spec, seed=3).kernels[0].build_cta(5)
+        assert a.warps[0].lines == b.warps[0].lines
+        assert a.warps[0].start_offset == b.warps[0].start_offset
+
+    def test_seed_changes_trace(self):
+        spec = spec_for("irregular", {"apw": 8})
+        a = build_trace(spec, seed=0).kernels[0].build_cta(5)
+        b = build_trace(spec, seed=1).kernels[0].build_cta(5)
+        assert a.warps[0].lines != b.warps[0].lines
+
+    def test_cta_clamp(self):
+        spec = spec_for("stream", {"apw": 2}, ctas=5000)
+        trace = build_trace(spec, work_scale=4.0)
+        assert trace.kernels[0].num_ctas == MAX_CTAS
+
+    def test_metadata(self):
+        trace = build_trace(STRONG_SCALING["dct"])
+        assert trace.metadata["capacity_scale"] == 0.125
+        assert "warm_region" in trace.metadata
+
+
+class TestSweepFamily:
+    def test_hot_lines_within_working_set(self):
+        spec = spec_for("sweep", {"hot_mb": 2.0, "apw": 8})
+        cta = build_trace(spec).kernels[0].build_cta(0)
+        hot_lines = lines_for_mb(2.0, 0.125)
+        for warp in cta.warps:
+            assert max(warp.lines) < hot_lines
+
+    def test_l1_reuse_repeats_lines(self):
+        spec = spec_for("sweep", {"hot_mb": 2.0, "apw": 8, "l1_reuse": 2})
+        warp = build_trace(spec).kernels[0].build_cta(0).warps[0]
+        assert warp.lines[0] == warp.lines[1]
+        assert warp.lines[2] == warp.lines[3]
+
+    def test_cold_fraction_goes_to_bypass_region(self):
+        spec = spec_for("sweep", {"hot_mb": 2.0, "apw": 16, "cold_frac": 0.5})
+        trace = build_trace(spec)
+        lines = [l for k in trace.kernels for c in k.iter_ctas()
+                 for w in c.warps for l in w.lines]
+        cold = [l for l in lines if l >= BYPASS_BASE]
+        assert 0.3 < len(cold) / len(lines) < 0.7
+
+    def test_warm_region_covers_hot_set(self):
+        spec = spec_for("sweep", {"hot_mb": 2.0, "apw": 8})
+        trace = build_trace(spec)
+        base, count = trace.metadata["warm_region"]
+        assert base == 0
+        assert count == lines_for_mb(2.0, 0.125)
+
+
+class TestIrregularFamily:
+    def test_sigma_varies_cta_work(self):
+        spec = spec_for("irregular", {"apw": 16, "sigma": 1.0})
+        trace = build_trace(spec)
+        lengths = {
+            trace.kernels[0].build_cta(c).warps[0].num_accesses
+            for c in range(20)
+        }
+        assert len(lengths) > 3  # strongly varying CTA work
+
+    def test_sigma_growth_under_weak_scaling(self):
+        spec = spec_for("irregular", {"apw": 16, "sigma": 0.4,
+                                      "sigma_growth": 0.5})
+        small = build_trace(spec, work_scale=1.0)
+        big = build_trace(spec, work_scale=16.0)
+
+        def spread(trace):
+            lengths = [trace.kernels[0].build_cta(c).warps[0].num_accesses
+                       for c in range(trace.kernels[0].num_ctas)]
+            return np.std(lengths) / np.mean(lengths)
+
+        assert spread(big) > spread(small)
+
+
+class TestTiledFamily:
+    def test_folded_compute(self):
+        spec = spec_for("tiled", {"apw": 4, "cpa": 10.0, "reps": 3})
+        warp = build_trace(spec).kernels[0].build_cta(0).warps[0]
+        # folded cpa = 3*(10+1)-1 = 32 per access on average.
+        mean_compute = sum(warp.compute) / len(warp.compute)
+        assert mean_compute == pytest.approx(32, rel=0.3)
+        assert warp.num_accesses == 4
+
+
+class TestChaseFamily:
+    def test_walks_touch_all_levels(self):
+        spec = spec_for("chase", {"apw": 8, "levels": 4}, footprint=2.0)
+        warp = build_trace(spec).kernels[0].build_cta(0).warps[0]
+        assert warp.num_accesses == 8  # 2 walks x 4 levels
+
+
+class TestHotColdFamily:
+    def test_hot_scaled_grows_with_work(self):
+        params = {"apw": 8, "hot_lines": 100, "hot_frac": 1.0,
+                  "zipf_exp": 0.0, "hot_scaled": 1.0}
+        spec = spec_for("hotcold", params)
+        big = build_trace(spec, work_scale=8.0)
+        lines = [l for w in big.kernels[0].build_cta(0).warps for l in w.lines]
+        assert max(lines) >= 100  # beyond the unscaled region
+
+    def test_hot_fixed_without_flag(self):
+        params = {"apw": 8, "hot_lines": 100, "hot_frac": 1.0, "zipf_exp": 0.0}
+        spec = spec_for("hotcold", params)
+        big = build_trace(spec, work_scale=8.0)
+        lines = [l for w in big.kernels[0].build_cta(0).warps for l in w.lines]
+        assert max(lines) < 100
+
+
+class TestWeakScaling:
+    @pytest.mark.parametrize("abbr", ["va", "bp", "btree"])
+    def test_accesses_scale_with_work(self, abbr):
+        spec = WEAK_SCALING[abbr]
+        small = build_trace(spec, work_scale=1.0).count_accesses()
+        large = build_trace(spec, work_scale=8.0).count_accesses()
+        assert large == pytest.approx(8 * small, rel=0.25)

@@ -1,0 +1,109 @@
+"""Benchmark-spec and catalog tests."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads import (
+    MCM_WEAK_BENCHMARKS,
+    STRONG_SCALING,
+    WEAK_SCALING,
+    ScalingBehavior,
+    get_benchmark,
+    strong_scaling_names,
+    weak_scaling_names,
+)
+from repro.workloads.spec import BenchmarkSpec, KernelShape
+
+
+class TestKernelShape:
+    def test_warps_per_cta(self):
+        assert KernelShape(10, 256).warps_per_cta == 8
+        assert KernelShape(10, 1024).warps_per_cta == 32
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            KernelShape(0)
+        with pytest.raises(WorkloadError):
+            KernelShape(10, 16)  # below one warp
+
+
+class TestBenchmarkSpec:
+    def _spec(self, **overrides):
+        defaults = dict(
+            abbr="x", name="X", suite="S", footprint_mb=10.0, insns_m=1.0,
+            kernels=(KernelShape(16),), scaling=ScalingBehavior.LINEAR,
+            family="stream",
+        )
+        defaults.update(overrides)
+        return BenchmarkSpec(**defaults)
+
+    def test_num_ctas_sums_kernels(self):
+        spec = self._spec(kernels=(KernelShape(16), KernelShape(8)))
+        assert spec.num_ctas == 24
+
+    def test_param_lookup_with_default(self):
+        spec = self._spec(params={"cpa": 5.0})
+        assert spec.param("cpa", 1.0) == 5.0
+        assert spec.param("missing", 7.0) == 7.0
+
+    def test_weak_scalable_requires_class(self):
+        with pytest.raises(WorkloadError):
+            self._spec(weak_scalable=True)
+
+    def test_mcm_requires_weak(self):
+        with pytest.raises(WorkloadError):
+            self._spec(mcm=True)
+
+    def test_footprint_positive(self):
+        with pytest.raises(WorkloadError):
+            self._spec(footprint_mb=0.0)
+
+
+class TestCatalog:
+    def test_twenty_one_strong_benchmarks(self):
+        assert len(STRONG_SCALING) == 21
+        assert len(strong_scaling_names()) == 21
+
+    def test_table2_order_starts_with_dct(self):
+        names = strong_scaling_names()
+        assert names[0] == "dct"
+        assert names[-1] == "bs"
+
+    def test_six_weak_benchmarks(self):
+        assert len(WEAK_SCALING) == 6
+        assert set(weak_scaling_names()) == {"bfs", "bs", "btree", "as", "bp", "va"}
+
+    def test_weak_benchmarks_flagged(self):
+        for abbr in weak_scaling_names():
+            assert WEAK_SCALING[abbr].weak_scalable
+            assert WEAK_SCALING[abbr].weak_scaling is not None
+
+    def test_mcm_subset(self):
+        for abbr in MCM_WEAK_BENCHMARKS:
+            assert WEAK_SCALING[abbr].mcm
+
+    def test_get_benchmark(self):
+        assert get_benchmark("dct").abbr == "dct"
+        assert get_benchmark("bfs", weak=True).footprint_mb < 5
+        with pytest.raises(WorkloadError):
+            get_benchmark("nope")
+        with pytest.raises(WorkloadError):
+            get_benchmark("dct", weak=True)
+
+    def test_families_are_known(self):
+        from repro.workloads.generators import _FAMILIES
+
+        for spec in list(STRONG_SCALING.values()) + list(WEAK_SCALING.values()):
+            assert spec.family in _FAMILIES, spec.abbr
+
+    def test_no_duplicate_trace_shapes_among_strong(self):
+        """Benchmarks must not be exact clones of each other."""
+        signatures = {}
+        for abbr, spec in STRONG_SCALING.items():
+            sig = (
+                spec.family,
+                tuple((k.num_ctas, k.threads_per_cta) for k in spec.kernels),
+                tuple(sorted(spec.params.items())),
+            )
+            assert sig not in signatures, (abbr, signatures.get(sig))
+            signatures[sig] = abbr

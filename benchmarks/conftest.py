@@ -2,8 +2,9 @@
 
 Every module regenerates one table or figure of the paper.  Heavy
 simulations go through a session-scoped :class:`CachedRunner`, so the
-first full run populates ``results/simcache.json`` and later runs are
-nearly instantaneous.  Human-readable experiment output is printed with
+first full run populates the sharded store under ``results/simcache/``
+and later runs are nearly instantaneous.  Human-readable experiment
+output is printed with
 ``-s`` (or captured into the pytest report otherwise).
 """
 
@@ -16,7 +17,7 @@ sys.path.insert(0, os.path.join(os.path.dirname(__file__), ".."))
 
 from repro.analysis.runner import CachedRunner  # noqa: E402
 
-CACHE_PATH = os.environ.get("REPRO_SIMCACHE", "results/simcache.json")
+CACHE_PATH = os.environ.get("REPRO_SIMCACHE", "results/simcache")
 
 
 @pytest.fixture(scope="session")

@@ -4,6 +4,7 @@ the strong-scaling scenario (the Figure 4 experiment), using the cached
 runner so repeated invocations only re-simulate what changed.
 
 Usage: python scripts/accuracy.py [abbr ...] [--target 128] [--no-cache]
+                                  [--jobs N]
 """
 
 from __future__ import annotations
@@ -11,7 +12,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.runner import CachedRunner
+from repro.analysis.parallel import RunRequest
+from repro.analysis.runner import CachedRunner, DEFAULT_CACHE, default_jobs
 from repro.core import METHOD_NAMES, ScaleModelPredictor, ScaleModelProfile
 from repro.core.baselines import make_predictor
 from repro.workloads import STRONG_SCALING
@@ -23,13 +25,23 @@ def main(argv=None) -> int:
     parser.add_argument("--targets", default="64,128")
     parser.add_argument("--scales", default="8,16")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None)
     args = parser.parse_args(argv)
 
-    runner = CachedRunner(None if args.no_cache else "results/simcache.json")
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    runner = CachedRunner(None if args.no_cache else DEFAULT_CACHE, jobs=jobs)
     names = args.benchmarks or list(STRONG_SCALING)
     targets = [int(t) for t in args.targets.split(",")]
     scales = [int(s) for s in args.scales.split(",")]
 
+    runner.prefetch(
+        [
+            RunRequest("sim", STRONG_SCALING[abbr], size=n)
+            for abbr in names
+            for n in scales + targets
+        ]
+        + [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in names]
+    )
     per_method = {m: [] for m in METHOD_NAMES}
     for abbr in names:
         spec = STRONG_SCALING[abbr]

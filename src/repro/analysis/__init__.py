@@ -1,8 +1,17 @@
 """Analysis and reporting: experiment runners for every table and figure
 of the paper, scaling classification, text tables, ASCII plots, the
-cached simulation store and the artifact-bundle exporter."""
+sharded simulation result store with its parallel batch executor, and
+the artifact-bundle exporter."""
 
 from repro.analysis.classify import classify_scaling
+from repro.analysis.parallel import ParallelRunner, RunRequest
 from repro.analysis.runner import CachedRunner
+from repro.analysis.simcache import ResultStore
 
-__all__ = ["classify_scaling", "CachedRunner"]
+__all__ = [
+    "classify_scaling",
+    "CachedRunner",
+    "ParallelRunner",
+    "ResultStore",
+    "RunRequest",
+]

@@ -23,6 +23,7 @@ import json
 import os
 from typing import Dict, Optional, Sequence
 
+from repro.analysis.parallel import RunRequest
 from repro.analysis.runner import CachedRunner
 from repro.core.baselines import METHOD_NAMES, make_predictor
 from repro.core.model import ScaleModelPredictor
@@ -148,6 +149,22 @@ def export_artifact(
 ) -> Dict[str, int]:
     """Write the full artifact bundle; returns file counts per section."""
     runner = runner or CachedRunner()
+    strong = list(benchmarks or strong_scaling_names())
+    weak = list(weak_benchmarks or weak_scaling_names())
+    requests = [
+        RunRequest("sim", STRONG_SCALING[abbr], size=n)
+        for abbr in strong
+        for n in (8, 16, 32, 64, 128)
+    ]
+    requests += [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in strong]
+    requests += [
+        RunRequest("sim", WEAK_SCALING[abbr], size=n, work_scale=n / 8)
+        for abbr in weak
+        for n in (8, 16, 32, 64, 128)
+    ]
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None:
+        prefetch(requests)
     counts = {"strong": 0, "weak": 0}
     os.makedirs(os.path.join(out_dir, "strong"), exist_ok=True)
     os.makedirs(os.path.join(out_dir, "weak"), exist_ok=True)
@@ -156,13 +173,13 @@ def export_artifact(
         json.dump(configs_record(), fh, indent=2)
 
     summary: Dict[str, Dict] = {"strong": {}, "weak": {}}
-    for abbr in benchmarks or strong_scaling_names():
+    for abbr in strong:
         record = strong_benchmark_record(abbr, runner)
         with open(os.path.join(out_dir, "strong", f"{abbr}.json"), "w") as fh:
             json.dump(record, fh, indent=2)
         summary["strong"][abbr] = record["errors"]
         counts["strong"] += 1
-    for abbr in weak_benchmarks or weak_scaling_names():
+    for abbr in weak:
         record = weak_benchmark_record(abbr, runner)
         with open(os.path.join(out_dir, "weak", f"{abbr}.json"), "w") as fh:
             json.dump(record, fh, indent=2)

@@ -10,8 +10,11 @@ Usage::
     gpu-scale-experiments fig8
     gpu-scale-experiments all
 
-Simulations are cached under ``results/simcache.json``; the first run of
-the heavier experiments takes minutes, repeats are instantaneous.
+Simulations are cached in sharded JSONL files under ``results/simcache/``
+(a legacy ``results/simcache.json`` is imported transparently); the first
+run of the heavier experiments takes minutes, repeats are instantaneous.
+``--jobs N`` (or ``REPRO_JOBS``) fans cache misses out across N worker
+processes; results are identical to a serial run.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ import argparse
 import sys
 
 from repro.analysis import experiments as exp
-from repro.analysis.runner import CachedRunner
+from repro.analysis.runner import CachedRunner, DEFAULT_CACHE, default_jobs
 from repro.exceptions import ReproError
 
 EXPERIMENTS = (
@@ -40,8 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="target size for fig4 (64 or 128)")
     parser.add_argument("--benchmarks", default=None,
                         help="comma-separated benchmark subset")
-    parser.add_argument("--cache", default="results/simcache.json")
+    parser.add_argument("--cache", default=DEFAULT_CACHE,
+                        help="result-store directory (default results/simcache)")
     parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for cache misses "
+                             "(default: REPRO_JOBS or cpu_count()-1)")
     return parser
 
 
@@ -90,7 +97,8 @@ def run_experiment(name: str, args, runner: CachedRunner, out) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    runner = CachedRunner(None if args.no_cache else args.cache)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    runner = CachedRunner(None if args.no_cache else args.cache, jobs=jobs)
     names = (
         ["table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6",
          "fig7", "fig8", "artifact"]
@@ -110,6 +118,17 @@ def main(argv=None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    finally:
+        runner.flush()
+        stats = runner.stats()
+        print(
+            "cache: {hits} hits, {misses} misses, {flushes} flushes, "
+            "{entries} entries, {quarantined_shards} quarantined shards, "
+            "{legacy_imported} legacy entries imported (jobs={jobs})".format(
+                **stats
+            ),
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.ascii_plot import plot_series
 from repro.analysis.classify import classify_scaling
+from repro.analysis.parallel import RunRequest
 from repro.analysis.runner import CachedRunner
 from repro.analysis.tables import render_percent, render_table
 from repro.core.accuracy import ErrorSummary, geometric_mean, summarize_errors
@@ -44,6 +45,19 @@ FIG5_BENCHMARKS = (
     "bfs", "gr", "sr", "btree",    # sub-linear row
     "pf", "ht", "at", "gemm",      # linear row
 )
+
+
+def _prefetch(runner, requests: Sequence[RunRequest]) -> None:
+    """Hand the figure's full run list to the runner's worker pool.
+
+    Each experiment enumerates its runs up front and submits them as one
+    batch, so cache misses execute in parallel when the runner has a
+    pool (``jobs > 1``); runners without a ``prefetch`` method (fakes in
+    tests) fall back to lazy in-process execution.
+    """
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None and requests:
+        prefetch(requests)
 
 
 # ---------------------------------------------------------------------------
@@ -130,6 +144,11 @@ def figure1_scaling(
 ) -> ScalingCurves:
     """Figure 1 (and the Table II classification check)."""
     runner = runner or CachedRunner()
+    _prefetch(runner, [
+        RunRequest("sim", STRONG_SCALING[abbr], size=n)
+        for abbr in benchmarks
+        for n in sizes
+    ])
     ipcs: Dict[str, Dict[int, float]] = {}
     measured, expected = {}, {}
     for abbr in benchmarks:
@@ -174,6 +193,9 @@ def figure2_miss_rate_curves(
     runner: Optional[CachedRunner] = None,
 ) -> MissRateCurves:
     runner = runner or CachedRunner()
+    _prefetch(runner, [
+        RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in benchmarks
+    ])
     mpki, cliffs = {}, {}
     caps_mb: Tuple[float, ...] = ()
     for abbr in benchmarks:
@@ -266,6 +288,11 @@ def figure4_strong_accuracy(
     """Figure 4a (128-SM target) / 4b (64-SM target)."""
     runner = runner or CachedRunner()
     benches = list(benchmarks or strong_scaling_names())
+    _prefetch(runner, [
+        RunRequest("sim", STRONG_SCALING[abbr], size=n)
+        for abbr in benches
+        for n in (*scale_sizes, target_size)
+    ] + [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in benches])
     errors = {m: {} for m in METHOD_NAMES}
     predictions: Dict[str, Dict[str, float]] = {m: {} for m in METHOD_NAMES}
     actuals = {}
@@ -340,6 +367,11 @@ def figure5_prediction_curves(
     real: Dict[str, Dict[int, float]] = {}
     predicted: Dict[str, Dict[str, Dict[int, float]]] = {}
     sizes = tuple(sorted(set(scale_sizes) | set(target_sizes)))
+    _prefetch(runner, [
+        RunRequest("sim", STRONG_SCALING[abbr], size=n)
+        for abbr in benchmarks
+        for n in sizes
+    ] + [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in benchmarks])
     for abbr in benchmarks:
         spec = STRONG_SCALING[abbr]
         profile = _strong_profile(abbr, runner, scale_sizes)
@@ -364,6 +396,11 @@ def figure6_weak_accuracy(
 ) -> Dict[int, AccuracyExperiment]:
     """Figure 6: weak-scaling prediction error per target size."""
     runner = runner or CachedRunner()
+    _prefetch(runner, [
+        RunRequest("sim", WEAK_SCALING[abbr], size=n, work_scale=n / base_size)
+        for abbr in weak_scaling_names()
+        for n in sorted(set(scale_sizes) | set(target_sizes))
+    ])
     out = {}
     for target in target_sizes:
         errors = {m: {} for m in METHOD_NAMES}
@@ -449,6 +486,11 @@ def figure7_speedup(
     the numbers reflect the first (real) execution of each simulation.
     """
     runner = runner or CachedRunner()
+    _prefetch(runner, [
+        RunRequest("sim", WEAK_SCALING[abbr], size=n, work_scale=n / base_size)
+        for abbr in weak_scaling_names()
+        for n in sorted(set(scale_sizes) | set(target_sizes))
+    ])
     speedups: Dict[str, Dict[int, float]] = {}
     for abbr in weak_scaling_names():
         spec = WEAK_SCALING[abbr]
@@ -484,6 +526,11 @@ def figure8_mcm_accuracy(
     of Table IV.
     """
     runner = runner or CachedRunner()
+    _prefetch(runner, [
+        RunRequest("mcm", WEAK_SCALING[abbr], size=c, work_scale=float(c))
+        for abbr in MCM_WEAK_BENCHMARKS
+        for c in (*scale_chiplets, target_chiplets)
+    ])
     errors = {m: {} for m in METHOD_NAMES}
     predictions: Dict[str, Dict[str, float]] = {m: {} for m in METHOD_NAMES}
     actuals = {}

@@ -1,0 +1,125 @@
+"""Parallel execution of simulation batches.
+
+The experiment harness is embarrassingly parallel: every figure/table is
+a set of independent (benchmark, size) runs, each a pure function of its
+spec, scale and seed.  :class:`ParallelRunner` takes a batch of
+:class:`RunRequest` descriptors, drops the ones the result store already
+has, executes the misses across a ``ProcessPoolExecutor`` and merges the
+results back into the store in deterministic (key-sorted) order.
+
+Worker processes recompute nothing that is cached and communicate only
+picklable inputs (frozen dataclass specs) and JSON payloads, so a worker
+crash loses at most its own runs.  Serial execution of the same batch
+produces identical payloads for every deterministic field; only
+``wall_time_s`` (a host-time measurement) differs between executions.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis import runner as _runner
+from repro.analysis.simcache import ResultStore
+from repro.exceptions import ReproError
+from repro.workloads.spec import BenchmarkSpec
+
+__all__ = ["RunRequest", "ParallelRunner"]
+
+KINDS = ("sim", "mcm", "mrc")
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One pending run: a timing sim, an MCM sim or an MRC collection.
+
+    ``size`` is the SM count for ``sim``, the chiplet count for ``mcm``
+    and unused for ``mrc``; ``method`` only applies to ``mrc``.
+    """
+
+    kind: str
+    spec: BenchmarkSpec
+    size: int = 0
+    work_scale: float = 1.0
+    seed: int = 0
+    method: str = "stack"
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(f"unknown run kind {self.kind!r}")
+
+    @property
+    def key(self) -> str:
+        if self.kind == "sim":
+            return _runner.sim_key(self.spec, self.size, self.work_scale, self.seed)
+        if self.kind == "mcm":
+            return _runner.mcm_key(self.spec, self.size, self.work_scale, self.seed)
+        return _runner.mrc_key(self.spec, self.work_scale, self.method, self.seed)
+
+
+def execute_request(request: RunRequest) -> Tuple[str, str, dict]:
+    """Run one request to completion; returns ``(key, shard, payload)``.
+
+    Module-level and pure so it pickles into pool workers; also the
+    serial fallback, so both paths share one implementation.
+    """
+    if request.kind == "sim":
+        result = _runner.compute_sim(
+            request.spec, request.size, request.work_scale, request.seed
+        )
+        payload = asdict(result)
+    elif request.kind == "mcm":
+        result = _runner.compute_mcm(
+            request.spec, request.size, request.work_scale, request.seed
+        )
+        payload = asdict(result)
+    else:
+        curve = _runner.compute_mrc(
+            request.spec, request.work_scale, request.method, request.seed
+        )
+        payload = _runner.curve_payload(curve)
+    return request.key, request.spec.abbr, payload
+
+
+class ParallelRunner:
+    """Executes the cache misses of a request batch across processes."""
+
+    def __init__(self, store: ResultStore, jobs: int = 0) -> None:
+        self.store = store
+        self.jobs = jobs if jobs >= 1 else _runner.default_jobs()
+
+    def run_batch(self, requests: Iterable[RunRequest]) -> int:
+        """Compute every miss in ``requests``; returns the executed count.
+
+        Duplicate descriptors are collapsed; results merge into the
+        store sorted by key, so the shard contents do not depend on
+        worker scheduling.
+        """
+        unique: Dict[str, RunRequest] = {}
+        for request in requests:
+            unique.setdefault(request.key, request)
+        misses: List[Tuple[str, RunRequest]] = [
+            (key, request)
+            for key, request in unique.items()
+            if not self.store.contains(key)
+        ]
+        if not misses:
+            return 0
+        pending = [request for _, request in misses]
+        if self.jobs <= 1 or len(pending) == 1:
+            executed = [execute_request(request) for request in pending]
+        else:
+            workers = min(self.jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                executed = list(pool.map(execute_request, pending))
+        # Merge as one batched flush: stage every record, write once.
+        previous = self.store.flush_every
+        self.store.flush_every = len(executed) + 1
+        try:
+            for key, shard, payload in sorted(executed, key=lambda item: item[0]):
+                self.store.put(key, payload, shard=shard)
+        finally:
+            self.store.flush_every = previous
+        self.store.flush()
+        return len(executed)

@@ -1,29 +1,54 @@
 """Cached simulation running for the experiment harness.
 
 Every table/figure of the paper reuses the same underlying runs (scale
-models, targets, miss-rate curves).  On a single-core host those runs are
-the dominant cost, so :class:`CachedRunner` memoizes them on disk keyed by
-a digest of the benchmark spec, the scenario and the system configuration;
-editing a generator parameter in the catalog automatically invalidates the
+models, targets, miss-rate curves).  :class:`CachedRunner` memoizes them
+on disk keyed by a digest of the benchmark spec, the scenario and the
+system configuration; editing a generator parameter in the catalog —
+including a kernel's ``work_share`` — automatically invalidates the
 affected entries.
+
+Persistence goes through :class:`repro.analysis.simcache.ResultStore`:
+one append-only JSONL shard per benchmark under ``results/simcache/``,
+tolerant of corruption and crash-safe (see that module's docstring).  A
+legacy single-file ``results/simcache.json`` is imported transparently.
+
+Cache misses can be fanned out across processes: build the run list up
+front, wrap each run in a :class:`repro.analysis.parallel.RunRequest`
+and call :meth:`CachedRunner.prefetch`.  Parallel and serial execution
+produce identical results for every deterministic field — each run is a
+pure function of (spec, scale, seed); only ``wall_time_s``, a host-time
+measurement, varies between executions.
 """
 
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 from dataclasses import asdict
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
+from repro.analysis.simcache import ResultStore
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
-from repro.workloads import get_benchmark, build_trace
+from repro.workloads import build_trace
 from repro.workloads.spec import BenchmarkSpec
 
-DEFAULT_CACHE = os.path.join("results", "simcache.json")
+DEFAULT_CACHE = os.path.join("results", "simcache")
 
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``cpu_count() - 1``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+# --- cache keys ----------------------------------------------------------------
 
 def _spec_digest(spec: BenchmarkSpec, extra: str = "") -> str:
     payload = repr(
@@ -31,7 +56,10 @@ def _spec_digest(spec: BenchmarkSpec, extra: str = "") -> str:
             spec.abbr,
             spec.family,
             sorted(spec.params.items()),
-            [(k.num_ctas, k.threads_per_cta) for k in spec.kernels],
+            # Every KernelShape field participates, so editing any grid
+            # property (num_ctas, threads_per_cta, work_share, ...)
+            # invalidates the cached runs.
+            [tuple(sorted(asdict(k).items())) for k in spec.kernels],
             spec.footprint_mb,
             extra,
         )
@@ -43,29 +71,152 @@ def _config_digest(config) -> str:
     return hashlib.sha256(repr(config).encode()).hexdigest()[:16]
 
 
-class CachedRunner:
-    """Runs (and memoizes) timing simulations and MRC collections."""
+def sim_key(spec: BenchmarkSpec, num_sms: int, work_scale: float, seed: int) -> str:
+    config = GPUConfig.paper_baseline().scaled(num_sms)
+    return "|".join(
+        (
+            "sim",
+            _spec_digest(spec, f"w={work_scale},seed={seed}"),
+            _config_digest(config),
+        )
+    )
 
-    def __init__(self, cache_path: Optional[str] = DEFAULT_CACHE) -> None:
+
+def mcm_key(
+    spec: BenchmarkSpec, num_chiplets: int, work_scale: float, seed: int
+) -> str:
+    config = McmConfig.paper_target().scaled(num_chiplets)
+    return "|".join(
+        (
+            "mcm",
+            _spec_digest(spec, f"w={work_scale},seed={seed}"),
+            _config_digest(config),
+        )
+    )
+
+
+def mrc_key(spec: BenchmarkSpec, work_scale: float, method: str, seed: int) -> str:
+    config = GPUConfig.paper_baseline()
+    return "|".join(
+        (
+            "mrc",
+            _spec_digest(spec, f"w={work_scale},m={method},seed={seed}"),
+            _config_digest(config),
+        )
+    )
+
+
+# --- pure compute functions (shared by the lazy path and pool workers) ---------
+
+def compute_sim(
+    spec: BenchmarkSpec, num_sms: int, work_scale: float, seed: int
+) -> SimulationResult:
+    config = GPUConfig.paper_baseline().scaled(num_sms)
+    trace = build_trace(
+        spec,
+        work_scale=work_scale,
+        capacity_scale=config.capacity_scale,
+        seed=seed,
+    )
+    return simulate(config, trace)
+
+
+def compute_mcm(
+    spec: BenchmarkSpec, num_chiplets: int, work_scale: float, seed: int
+) -> SimulationResult:
+    config = McmConfig.paper_target().scaled(num_chiplets)
+    trace = build_trace(
+        spec,
+        work_scale=work_scale,
+        capacity_scale=config.chiplet.capacity_scale,
+        seed=seed,
+    )
+    return simulate_mcm(config, trace)
+
+
+def compute_mrc(
+    spec: BenchmarkSpec, work_scale: float, method: str, seed: int
+) -> MissRateCurve:
+    config = GPUConfig.paper_baseline()
+    trace = build_trace(
+        spec,
+        work_scale=work_scale,
+        capacity_scale=config.capacity_scale,
+        seed=seed,
+    )
+    return collect_miss_rate_curve(trace, config=config, method=method)
+
+
+def curve_payload(curve: MissRateCurve) -> dict:
+    return {
+        "workload": curve.workload,
+        "capacities_bytes": list(curve.capacities_bytes),
+        "mpki": list(curve.mpki),
+        "miss_ratio": list(curve.miss_ratio),
+        "metadata": curve.metadata,
+    }
+
+
+def curve_from_payload(payload: dict) -> MissRateCurve:
+    return MissRateCurve(
+        workload=payload["workload"],
+        capacities_bytes=tuple(payload["capacities_bytes"]),
+        mpki=tuple(payload["mpki"]),
+        miss_ratio=tuple(payload["miss_ratio"]),
+        metadata=payload["metadata"],
+    )
+
+
+def _resolve_cache_path(
+    cache_path: Optional[str],
+) -> Tuple[Optional[str], Optional[str]]:
+    """Map a user-facing cache path to ``(store_root, legacy_json_path)``.
+
+    A ``.json`` path (the pre-sharding cache location) selects the
+    sibling directory as the store root and imports the file itself;
+    anything else is the store root directly, with ``<root>.json``
+    imported when present.
+    """
+    if cache_path is None:
+        return None, None
+    if cache_path.endswith(".json"):
+        return cache_path[: -len(".json")], cache_path
+    return cache_path, cache_path + ".json"
+
+
+class CachedRunner:
+    """Runs (and memoizes) timing simulations and MRC collections.
+
+    ``jobs`` sets the worker-pool size used by :meth:`prefetch`; the
+    individual ``simulate``/``miss_rate_curve`` calls always execute
+    in-process so their results are bit-identical regardless of ``jobs``.
+    """
+
+    def __init__(
+        self,
+        cache_path: Optional[str] = DEFAULT_CACHE,
+        jobs: Optional[int] = None,
+    ) -> None:
         self.cache_path = cache_path
-        self._cache: Dict[str, dict] = {}
+        root, legacy = _resolve_cache_path(cache_path)
+        self.store = ResultStore(root, legacy_path=legacy)
+        self.jobs = jobs if jobs is not None else 1
         self.hits = 0
         self.misses = 0
-        if cache_path and os.path.exists(cache_path):
-            with open(cache_path) as fh:
-                self._cache = json.load(fh)
 
-    # --- persistence ----------------------------------------------------------
-    def _save(self) -> None:
-        if not self.cache_path:
-            return
-        directory = os.path.dirname(self.cache_path)
-        if directory:
-            os.makedirs(directory, exist_ok=True)
-        tmp = self.cache_path + ".tmp"
-        with open(tmp, "w") as fh:
-            json.dump(self._cache, fh)
-        os.replace(tmp, self.cache_path)
+    # --- batched execution -----------------------------------------------------
+    def prefetch(self, requests: Iterable) -> int:
+        """Execute the cache misses among ``requests`` across the pool.
+
+        Returns the number of runs executed.  With ``jobs <= 1`` this is
+        a no-op — the lazy in-process path computes the same values on
+        demand, so serial and parallel invocations stay interchangeable.
+        """
+        if self.jobs <= 1:
+            return 0
+        from repro.analysis.parallel import ParallelRunner
+
+        return ParallelRunner(self.store, jobs=self.jobs).run_batch(requests)
 
     # --- timing runs ------------------------------------------------------------
     def simulate(
@@ -75,28 +226,14 @@ class CachedRunner:
         work_scale: float = 1.0,
         seed: int = 0,
     ) -> SimulationResult:
-        config = GPUConfig.paper_baseline().scaled(num_sms)
-        key = "|".join(
-            (
-                "sim",
-                _spec_digest(spec, f"w={work_scale},seed={seed}"),
-                _config_digest(config),
-            )
-        )
-        cached = self._cache.get(key)
+        key = sim_key(spec, num_sms, work_scale, seed)
+        cached = self.store.get(key)
         if cached is not None:
             self.hits += 1
             return SimulationResult(**cached)
         self.misses += 1
-        trace = build_trace(
-            spec,
-            work_scale=work_scale,
-            capacity_scale=config.capacity_scale,
-            seed=seed,
-        )
-        result = simulate(config, trace)
-        self._cache[key] = asdict(result)
-        self._save()
+        result = compute_sim(spec, num_sms, work_scale, seed)
+        self.store.put(key, asdict(result), shard=spec.abbr)
         return result
 
     def simulate_mcm(
@@ -106,28 +243,14 @@ class CachedRunner:
         work_scale: float,
         seed: int = 0,
     ) -> SimulationResult:
-        config = McmConfig.paper_target().scaled(num_chiplets)
-        key = "|".join(
-            (
-                "mcm",
-                _spec_digest(spec, f"w={work_scale},seed={seed}"),
-                _config_digest(config),
-            )
-        )
-        cached = self._cache.get(key)
+        key = mcm_key(spec, num_chiplets, work_scale, seed)
+        cached = self.store.get(key)
         if cached is not None:
             self.hits += 1
             return SimulationResult(**cached)
         self.misses += 1
-        trace = build_trace(
-            spec,
-            work_scale=work_scale,
-            capacity_scale=config.chiplet.capacity_scale,
-            seed=seed,
-        )
-        result = simulate_mcm(config, trace)
-        self._cache[key] = asdict(result)
-        self._save()
+        result = compute_mcm(spec, num_chiplets, work_scale, seed)
+        self.store.put(key, asdict(result), shard=spec.abbr)
         return result
 
     # --- miss-rate curves ------------------------------------------------------
@@ -138,42 +261,27 @@ class CachedRunner:
         method: str = "stack",
         seed: int = 0,
     ) -> MissRateCurve:
-        config = GPUConfig.paper_baseline()
-        key = "|".join(
-            (
-                "mrc",
-                _spec_digest(spec, f"w={work_scale},m={method},seed={seed}"),
-                _config_digest(config),
-            )
-        )
-        cached = self._cache.get(key)
+        key = mrc_key(spec, work_scale, method, seed)
+        cached = self.store.get(key)
         if cached is not None:
             self.hits += 1
-            return MissRateCurve(
-                workload=cached["workload"],
-                capacities_bytes=tuple(cached["capacities_bytes"]),
-                mpki=tuple(cached["mpki"]),
-                miss_ratio=tuple(cached["miss_ratio"]),
-                metadata=cached["metadata"],
-            )
+            return curve_from_payload(cached)
         self.misses += 1
-        trace = build_trace(
-            spec,
-            work_scale=work_scale,
-            capacity_scale=config.capacity_scale,
-            seed=seed,
-        )
-        curve = collect_miss_rate_curve(trace, config=config, method=method)
-        self._cache[key] = {
-            "workload": curve.workload,
-            "capacities_bytes": list(curve.capacities_bytes),
-            "mpki": list(curve.mpki),
-            "miss_ratio": list(curve.miss_ratio),
-            "metadata": curve.metadata,
-        }
-        self._save()
+        curve = compute_mrc(spec, work_scale, method, seed)
+        self.store.put(key, curve_payload(curve), shard=spec.abbr)
         return curve
 
+    # --- housekeeping ----------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Runner + store telemetry (hits, misses, flushes, quarantines)."""
+        merged = self.store.stats()
+        merged["runner_hits"] = self.hits
+        merged["runner_misses"] = self.misses
+        merged["jobs"] = self.jobs
+        return merged
+
+    def flush(self) -> None:
+        self.store.flush()
+
     def clear(self) -> None:
-        self._cache.clear()
-        self._save()
+        self.store.clear()

@@ -1,0 +1,273 @@
+"""Sharded, append-only, crash-safe simulation result store.
+
+The store keeps one JSONL shard per benchmark under a root directory
+(``results/simcache/`` by default).  Records are only ever *appended*:
+a flush writes the pending records for each shard in a single
+``write()`` call, so a crash can at worst truncate the final line of a
+shard — which the tolerant loader simply skips.  This replaces the old
+single-file cache whose full rewrite on every miss was O(total entries)
+per simulation and whose truncation made every later run crash at load.
+
+Durability rules:
+
+* **Appends are batched.** ``put()`` stages a record; once
+  ``flush_every`` records are pending (default 1: flush per record) they
+  are grouped by shard and appended, one ``write()`` per shard.
+* **Loads are tolerant.** A shard line that fails to parse is counted
+  and skipped.  A shard containing any bad line is *quarantined*: the
+  original file moves to ``<root>/quarantine/`` and the salvaged records
+  are rewritten atomically (tmp + rename), so the corruption never
+  crashes a run and never survives to the next load.
+* **Legacy import.** A pre-existing single-file ``simcache.json`` is
+  imported on load (entries the shards do not already have); a truncated
+  or corrupt legacy file degrades to a warning, never a crash.
+
+Telemetry (hits, misses, flushes, corrupt lines, quarantined shards,
+legacy imports) is exposed through :meth:`ResultStore.stats` and logged
+by the experiment CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import warnings
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ResultStore", "DEFAULT_STORE_ROOT", "LEGACY_CACHE_FILE"]
+
+DEFAULT_STORE_ROOT = os.path.join("results", "simcache")
+LEGACY_CACHE_FILE = os.path.join("results", "simcache.json")
+
+QUARANTINE_DIR = "quarantine"
+
+_SHARD_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _shard_filename(shard: str) -> str:
+    name = _SHARD_SANITIZER.sub("_", shard) or "misc"
+    return f"{name}.jsonl"
+
+
+class ResultStore:
+    """Keyed result records, persisted as one append-only shard per benchmark.
+
+    ``root=None`` keeps the store memory-only (no I/O at all).  Records
+    are plain JSON-serializable dicts; keys are opaque strings built by
+    :mod:`repro.analysis.runner`.
+    """
+
+    def __init__(
+        self,
+        root: Optional[str],
+        legacy_path: Optional[str] = None,
+        flush_every: int = 1,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.root = root
+        self.legacy_path = legacy_path
+        self.flush_every = flush_every
+        self._entries: Dict[str, dict] = {}
+        self._pending: List[Tuple[str, str, dict]] = []  # (shard, key, payload)
+        self._stats = {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "puts": 0,
+            "flushes": 0,
+            "appended_records": 0,
+            "shards_loaded": 0,
+            "corrupt_lines": 0,
+            "quarantined_shards": 0,
+            "legacy_imported": 0,
+            "legacy_corrupt": 0,
+        }
+        if self.root:
+            self._load_shards()
+        if self.legacy_path:
+            self._import_legacy()
+            if self._pending:
+                # Migrated entries become sharded immediately so the next
+                # load is served from the store alone.
+                self.flush()
+        self._stats["entries"] = len(self._entries)
+
+    # --- lookups ---------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Return the payload for ``key`` (counting a hit) or ``None``."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self._stats["misses"] += 1
+        else:
+            self._stats["hits"] += 1
+        return payload
+
+    def contains(self, key: str) -> bool:
+        """Membership test that does not touch the hit/miss telemetry."""
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def items(self) -> Iterator[Tuple[str, dict]]:
+        return iter(self._entries.items())
+
+    # --- writes ----------------------------------------------------------------
+    def put(self, key: str, payload: dict, shard: str = "misc") -> None:
+        """Stage one record; flushes once ``flush_every`` records pend."""
+        self._entries[key] = payload
+        self._stats["puts"] += 1
+        self._stats["entries"] = len(self._entries)
+        if not self.root:
+            return
+        self._pending.append((shard, key, payload))
+        if len(self._pending) >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> int:
+        """Append all pending records to their shards; returns the count.
+
+        Records for one shard go out in a single ``write()``, so a crash
+        mid-flush can only truncate the last line of one shard — which
+        the tolerant loader skips on the next run.
+        """
+        if not self._pending or not self.root:
+            self._pending.clear()
+            return 0
+        os.makedirs(self.root, exist_ok=True)
+        by_shard: Dict[str, List[str]] = {}
+        for shard, key, payload in self._pending:
+            line = json.dumps({"key": key, "payload": payload})
+            by_shard.setdefault(shard, []).append(line)
+        written = 0
+        for shard, lines in sorted(by_shard.items()):
+            path = os.path.join(self.root, _shard_filename(shard))
+            with open(path, "a") as fh:
+                fh.write("".join(line + "\n" for line in lines))
+            written += len(lines)
+        self._pending.clear()
+        self._stats["flushes"] += 1
+        self._stats["appended_records"] += written
+        return written
+
+    def clear(self) -> None:
+        """Drop every record, in memory and on disk."""
+        self._entries.clear()
+        self._pending.clear()
+        self._stats["entries"] = 0
+        if not self.root or not os.path.isdir(self.root):
+            return
+        for fname in os.listdir(self.root):
+            if fname.endswith(".jsonl"):
+                os.remove(os.path.join(self.root, fname))
+
+    # --- telemetry -------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the store's counters (see module docstring)."""
+        return dict(self._stats)
+
+    # --- loading ---------------------------------------------------------------
+    def _load_shards(self) -> None:
+        if not os.path.isdir(self.root):
+            return
+        for fname in sorted(os.listdir(self.root)):
+            if not fname.endswith(".jsonl"):
+                continue
+            self._load_one_shard(os.path.join(self.root, fname))
+
+    def _load_one_shard(self, path: str) -> None:
+        try:
+            with open(path) as fh:
+                raw_lines = fh.readlines()
+        except OSError as error:
+            warnings.warn(f"simcache: cannot read shard {path}: {error}")
+            return
+        good: List[Tuple[str, dict]] = []
+        bad = 0
+        for line in raw_lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                key, payload = record["key"], record["payload"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                bad += 1
+                continue
+            if not isinstance(key, str) or not isinstance(payload, dict):
+                bad += 1
+                continue
+            good.append((key, payload))
+        for key, payload in good:
+            self._entries[key] = payload
+        self._stats["shards_loaded"] += 1
+        if bad:
+            self._stats["corrupt_lines"] += bad
+            self._quarantine(path, good)
+
+    def _quarantine(self, path: str, salvaged: List[Tuple[str, dict]]) -> None:
+        """Move a corrupt shard aside and rewrite only its salvaged records."""
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        base = os.path.basename(path)
+        dest = os.path.join(qdir, base)
+        suffix = 0
+        while os.path.exists(dest):
+            suffix += 1
+            dest = os.path.join(qdir, f"{base}.{suffix}")
+        os.replace(path, dest)
+        if salvaged:
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                fh.write(
+                    "".join(
+                        json.dumps({"key": k, "payload": p}) + "\n"
+                        for k, p in salvaged
+                    )
+                )
+            os.replace(tmp, path)
+        self._stats["quarantined_shards"] += 1
+        warnings.warn(
+            f"simcache: shard {path} had corrupt lines; original moved to "
+            f"{dest}, {len(salvaged)} records salvaged"
+        )
+
+    def _import_legacy(self) -> None:
+        """Import a legacy single-file ``simcache.json`` if one exists.
+
+        Imported entries are staged as pending so they reach the shards
+        with the next flush; the legacy file itself is left untouched
+        (imports are idempotent: keys already in a shard are skipped).
+        """
+        path = self.legacy_path
+        if not path or not os.path.isfile(path):
+            return
+        try:
+            with open(path) as fh:
+                legacy = json.load(fh)
+            if not isinstance(legacy, dict):
+                raise ValueError("legacy cache is not a JSON object")
+        except (json.JSONDecodeError, ValueError, OSError, UnicodeDecodeError) as error:
+            self._stats["legacy_corrupt"] += 1
+            warnings.warn(
+                f"simcache: legacy cache {path} is unreadable ({error}); "
+                "starting from the sharded store only"
+            )
+            return
+        imported = 0
+        for key, payload in legacy.items():
+            if not isinstance(key, str) or not isinstance(payload, dict):
+                self._stats["corrupt_lines"] += 1
+                continue
+            if key in self._entries:
+                continue
+            shard = str(payload.get("workload", "misc"))
+            self._entries[key] = payload
+            if self.root:
+                self._pending.append((shard, key, payload))
+            imported += 1
+        self._stats["legacy_imported"] += imported

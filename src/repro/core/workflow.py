@@ -11,6 +11,11 @@ runners (see :mod:`repro.analysis.runner`) or fakes in tests:
 
 * ``simulate_fn(num_sms, work_scale) -> SimulationResult``
 * ``mrc_fn() -> MissRateCurve``
+
+Passing ``runner=`` (a :class:`repro.analysis.runner.CachedRunner`)
+instead derives both callables from the cache, enumerates the study's
+runs up front and submits them as one batch, so misses execute across
+the runner's worker pool.
 """
 
 from __future__ import annotations
@@ -58,6 +63,46 @@ class ScaleModelStudy:
         return out
 
 
+def _wire_runner(
+    spec: BenchmarkSpec,
+    runner,
+    simulate_fn: Optional[Callable],
+    mrc_fn: Optional[Callable],
+    sizes: Sequence[int],
+    base_size: Optional[int],
+    want_mrc: bool,
+) -> tuple:
+    """Derive the workflow callables from a cached runner and prefetch.
+
+    ``base_size=None`` selects strong scaling (work_scale 1 everywhere);
+    otherwise the weak-scaling ``n / base_size`` rule applies.
+    """
+    # Deferred: repro.core must stay importable without repro.analysis.
+    from repro.analysis.parallel import RunRequest
+
+    def scale_of(n: int) -> float:
+        return 1.0 if base_size is None else n / base_size
+
+    if simulate_fn is None:
+        def simulate_fn(num_sms: int, work_scale: float) -> SimulationResult:
+            return runner.simulate(spec, num_sms, work_scale=work_scale)
+
+    if want_mrc and mrc_fn is None:
+        def mrc_fn() -> MissRateCurve:
+            return runner.miss_rate_curve(spec)
+
+    requests = [
+        RunRequest("sim", spec, size=n, work_scale=scale_of(n))
+        for n in sorted(set(sizes))
+    ]
+    if want_mrc:
+        requests.append(RunRequest("mrc", spec))
+    prefetch = getattr(runner, "prefetch", None)
+    if prefetch is not None:
+        prefetch(requests)
+    return simulate_fn, mrc_fn
+
+
 def _default_simulate(spec: BenchmarkSpec, scenario: str) -> Callable:
     def run(num_sms: int, work_scale: float) -> SimulationResult:
         config = GPUConfig.paper_system(num_sms)
@@ -93,11 +138,17 @@ def predict_strong_scaling(
     simulate_fn: Optional[Callable] = None,
     mrc_fn: Optional[Callable] = None,
     include_actuals: bool = True,
+    runner=None,
 ) -> ScaleModelStudy:
     """Run the full strong-scaling workflow for one benchmark."""
     if max(scale_sizes) > min(target_sizes):
         raise PredictionError(
             f"scale models {scale_sizes} must be smaller than targets {target_sizes}"
+        )
+    if runner is not None:
+        sizes = list(scale_sizes) + (list(target_sizes) if include_actuals else [])
+        simulate_fn, mrc_fn = _wire_runner(
+            spec, runner, simulate_fn, mrc_fn, sizes, None, want_mrc=True
         )
     run = simulate_fn or _default_simulate(spec, "strong")
     results = {n: run(n, 1.0) for n in scale_sizes}
@@ -136,11 +187,17 @@ def predict_weak_scaling(
     base_size: int = 8,
     simulate_fn: Optional[Callable] = None,
     include_actuals: bool = True,
+    runner=None,
 ) -> ScaleModelStudy:
     """Run the weak-scaling workflow: inputs scale with system size and
     the miss-rate curve is unnecessary (pre-cliff by construction)."""
     if not spec.weak_scalable:
         raise PredictionError(f"{spec.abbr} has no weak-scaling inputs")
+    if runner is not None:
+        sizes = list(scale_sizes) + (list(target_sizes) if include_actuals else [])
+        simulate_fn, __ = _wire_runner(
+            spec, runner, simulate_fn, None, sizes, base_size, want_mrc=False
+        )
     run = simulate_fn or _default_simulate(spec, "weak")
     results = {n: run(n, n / base_size) for n in scale_sizes}
     profile = ScaleModelProfile(

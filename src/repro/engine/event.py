@@ -66,15 +66,20 @@ class EventQueue:
         heapq.heappush(self._heap, entry)
         return Event(entry)
 
-    def pop_entry(self) -> Optional[Tuple[float, Callable[..., None], tuple]]:
-        """Remove and return ``(time, callback, args)`` of the earliest live
-        event, or ``None`` when the queue is empty."""
+    def pop_entry(self) -> Optional[Tuple[float, int, Callable[..., None], tuple]]:
+        """Remove and return ``(time, seq, callback, args)`` of the earliest
+        live event, or ``None`` when the queue is empty.
+
+        ``seq`` is returned so a caller that re-inserts the entry (e.g. a
+        horizon pause) can hand it back to :meth:`push_entry` and keep the
+        entry's FIFO position among same-time events.
+        """
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
             callback = entry[_CALLBACK]
             if callback is not None:
-                return entry[_TIME], callback, entry[_ARGS]
+                return entry[_TIME], entry[_SEQ], callback, entry[_ARGS]
         return None
 
     def pop(self) -> Optional[Event]:
@@ -86,10 +91,24 @@ class EventQueue:
                 return Event(entry)
         return None
 
-    def push_entry(self, time: float, callback: Callable[..., None], args: tuple) -> None:
-        """Re-insert a popped entry (used when a run stops at a horizon)."""
-        entry = [time, self._seq, callback, args]
-        self._seq += 1
+    def push_entry(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        seq: Optional[int] = None,
+    ) -> None:
+        """Re-insert a popped entry (used when a run stops at a horizon).
+
+        Pass the entry's original ``seq`` to preserve its FIFO position:
+        a fresh seq would sort the entry *behind* same-time events pushed
+        since it was popped, leaking scheduling nondeterminism across
+        horizon pauses.
+        """
+        if seq is None:
+            seq = self._seq
+            self._seq += 1
+        entry = [time, seq, callback, args]
         heapq.heappush(self._heap, entry)
 
     def peek_time(self) -> Optional[float]:

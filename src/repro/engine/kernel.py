@@ -71,9 +71,11 @@ class SimulationKernel:
                 popped = queue.pop_entry()
                 if popped is None:
                     break
-                time, callback, args = popped
+                time, seq, callback, args = popped
                 if until is not None and time > until:
-                    queue.push_entry(time, callback, args)
+                    # Re-insert with the original seq so the paused event
+                    # keeps its FIFO slot among same-time events.
+                    queue.push_entry(time, callback, args, seq=seq)
                     self._now = until
                     break
                 self._now = time

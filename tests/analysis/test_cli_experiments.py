@@ -1,6 +1,7 @@
 """Experiment-CLI argument handling tests (no heavy simulation)."""
 
 import io
+import os
 
 import pytest
 
@@ -22,7 +23,8 @@ class TestParser:
     def test_defaults(self):
         args = build_parser().parse_args(["fig4"])
         assert args.target == 128
-        assert args.cache == "results/simcache.json"
+        assert args.cache == os.path.join("results", "simcache")
+        assert args.jobs is None
 
 
 class TestStaticExperiments:

@@ -1,4 +1,9 @@
-"""Cached-runner tests: memoization, invalidation, persistence."""
+"""Cached-runner tests: memoization, invalidation, persistence.
+
+The deeper cache-subsystem tests (corruption quarantine, legacy
+migration, parallel execution) live in ``tests/test_runner_cache.py``;
+these cover the runner's user-facing memoization contract.
+"""
 
 import json
 import os
@@ -8,12 +13,12 @@ from dataclasses import replace
 import pytest
 
 from repro.analysis.runner import CachedRunner
-from repro.workloads import WEAK_SCALING, get_benchmark
+from repro.workloads import get_benchmark
 
 
 @pytest.fixture
 def cache_path(tmp_path):
-    return str(tmp_path / "cache.json")
+    return str(tmp_path / "cache")
 
 
 @pytest.fixture
@@ -48,6 +53,18 @@ class TestCachedRunner:
         runner.simulate(changed, 8)
         assert runner.misses == 2
 
+    def test_work_share_change_invalidates(self, cache_path, tiny_spec):
+        runner = CachedRunner(cache_path)
+        runner.simulate(tiny_spec, 8)
+        changed = replace(
+            tiny_spec,
+            kernels=tuple(
+                replace(k, work_share=0.25) for k in tiny_spec.kernels
+            ),
+        )
+        runner.simulate(changed, 8)
+        assert runner.misses == 2
+
     def test_work_scale_in_key(self, cache_path, tiny_spec):
         runner = CachedRunner(cache_path)
         runner.simulate(tiny_spec, 8, work_scale=1.0)
@@ -62,11 +79,14 @@ class TestCachedRunner:
         assert first.mpki == second.mpki
         assert first.capacities_bytes == second.capacities_bytes
 
-    def test_cache_file_is_json(self, cache_path, tiny_spec):
+    def test_cache_shard_is_jsonl(self, cache_path, tiny_spec):
         CachedRunner(cache_path).simulate(tiny_spec, 8)
-        with open(cache_path) as fh:
-            data = json.load(fh)
-        assert len(data) == 1
+        shard = os.path.join(cache_path, "va.jsonl")
+        assert os.path.exists(shard)
+        with open(shard) as fh:
+            records = [json.loads(line) for line in fh if line.strip()]
+        assert len(records) == 1
+        assert set(records[0]) == {"key", "payload"}
 
     def test_no_cache_path_means_memory_only(self, tiny_spec):
         runner = CachedRunner(None)
@@ -80,3 +100,14 @@ class TestCachedRunner:
         runner.clear()
         runner.simulate(tiny_spec, 8)
         assert runner.misses == 2
+        assert len(CachedRunner(cache_path).store) == 1
+
+    def test_stats_exposed(self, cache_path, tiny_spec):
+        runner = CachedRunner(cache_path)
+        runner.simulate(tiny_spec, 8)
+        runner.simulate(tiny_spec, 8)
+        stats = runner.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["entries"] == 1
+        assert stats["flushes"] == 1

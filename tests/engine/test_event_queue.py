@@ -13,7 +13,7 @@ class TestOrdering:
         q.push(1.0, fired.append, "a")
         q.push(2.0, fired.append, "b")
         while (entry := q.pop_entry()) is not None:
-            __, callback, args = entry
+            __, __, callback, args = entry
             callback(*args)
         assert fired == ["a", "b", "c"]
 
@@ -23,7 +23,7 @@ class TestOrdering:
         for tag in range(10):
             q.push(5.0, fired.append, tag)
         while (entry := q.pop_entry()) is not None:
-            entry[1](*entry[2])
+            entry[2](*entry[3])
         assert fired == list(range(10))
 
     def test_peek_time_does_not_remove(self):
@@ -49,7 +49,7 @@ class TestCancellation:
         handle.cancel()
         assert handle.cancelled
         while (entry := q.pop_entry()) is not None:
-            entry[1](*entry[2])
+            entry[2](*entry[3])
         assert fired == ["alive"]
 
     def test_peek_skips_cancelled_head(self):
@@ -82,8 +82,30 @@ class TestEventHandle:
         q.push_entry(4.0, fired.append, ("x",))
         entry = q.pop_entry()
         assert entry[0] == 4.0
-        entry[1](*entry[2])
+        entry[2](*entry[3])
         assert fired == ["x"]
+
+    def test_push_entry_preserves_seq_fifo_position(self):
+        # A horizon-paused entry re-inserted with its original seq must
+        # still fire before same-time events pushed after it was popped.
+        q = EventQueue()
+        fired = []
+        q.push(5.0, fired.append, "paused")
+        time, seq, callback, args = q.pop_entry()
+        q.push(5.0, fired.append, "late")
+        q.push_entry(time, callback, args, seq=seq)
+        while (entry := q.pop_entry()) is not None:
+            entry[2](*entry[3])
+        assert fired == ["paused", "late"]
+
+    def test_push_entry_fresh_seq_without_original(self):
+        q = EventQueue()
+        fired = []
+        q.push(5.0, fired.append, "first")
+        q.push_entry(5.0, fired.append, ("second",))
+        while (entry := q.pop_entry()) is not None:
+            entry[2](*entry[3])
+        assert fired == ["first", "second"]
 
     def test_clear(self):
         q = EventQueue()

@@ -4,7 +4,8 @@ the strong-scaling scenario (the Figure 4 experiment), using the cached
 runner so repeated invocations only re-simulate what changed.
 
 Usage: python scripts/accuracy.py [abbr ...] [--target 128] [--no-cache]
-                                  [--jobs N]
+                                  [--jobs N] [--max-retries R]
+                                  [--run-timeout S] [--keep-going]
 """
 
 from __future__ import annotations
@@ -12,10 +13,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.faults import ExecutionPolicy
 from repro.analysis.parallel import RunRequest
 from repro.analysis.runner import CachedRunner, DEFAULT_CACHE, default_jobs
 from repro.core import METHOD_NAMES, ScaleModelPredictor, ScaleModelProfile
 from repro.core.baselines import make_predictor
+from repro.exceptions import ReproError
 from repro.workloads import STRONG_SCALING
 
 
@@ -26,10 +29,29 @@ def main(argv=None) -> int:
     parser.add_argument("--scales", default="8,16")
     parser.add_argument("--no-cache", action="store_true")
     parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="re-executions of a failed run (default 2)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        help="per-run watchdog timeout in seconds")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="skip benchmarks whose runs fail; exit 1 "
+                             "with a failure summary")
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    runner = CachedRunner(None if args.no_cache else DEFAULT_CACHE, jobs=jobs)
+    defaults = ExecutionPolicy()
+    policy = ExecutionPolicy(
+        max_retries=(
+            defaults.max_retries
+            if args.max_retries is None
+            else args.max_retries
+        ),
+        run_timeout=args.run_timeout,
+        keep_going=args.keep_going,
+    )
+    runner = CachedRunner(
+        None if args.no_cache else DEFAULT_CACHE, jobs=jobs, policy=policy
+    )
     names = args.benchmarks or list(STRONG_SCALING)
     targets = [int(t) for t in args.targets.split(",")]
     scales = [int(s) for s in args.scales.split(",")]
@@ -43,10 +65,18 @@ def main(argv=None) -> int:
         + [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in names]
     )
     per_method = {m: [] for m in METHOD_NAMES}
+    failed = []
     for abbr in names:
         spec = STRONG_SCALING[abbr]
-        sims = {n: runner.simulate(spec, n) for n in scales + targets}
-        curve = runner.miss_rate_curve(spec)
+        try:
+            sims = {n: runner.simulate(spec, n) for n in scales + targets}
+            curve = runner.miss_rate_curve(spec)
+        except ReproError as error:
+            if not args.keep_going:
+                raise
+            failed.append(abbr)
+            print(f"{abbr:6s} [skipped: {error}]")
+            continue
         profile = ScaleModelProfile(
             workload=abbr,
             sizes=tuple(scales),
@@ -72,10 +102,17 @@ def main(argv=None) -> int:
         region = predictor._region_of(targets[-1]).value if curve else "?"
         print("  ".join(row) + f"  region@{targets[-1]}={region}")
 
-    print("\n--- averages over", len(names), "benchmarks x", len(targets), "targets")
+    scored = len(names) - len(failed)
+    print("\n--- averages over", scored, "benchmarks x", len(targets), "targets")
     for m in METHOD_NAMES:
         errs = per_method[m]
+        if not errs:
+            continue
         print(f"{m:12s} avg={100*sum(errs)/len(errs):6.1f}%  max={100*max(errs):6.1f}%")
+    print(runner.execution_health())
+    if failed:
+        print(f"completed with failures: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -8,6 +8,12 @@ Produces:
 First run simulates everything (roughly 20-40 minutes on one core;
 ``--jobs N`` fans the simulations out across N worker processes);
 repeated runs are served from the sharded store in results/simcache/.
+
+Execution is fault-tolerant: ``--max-retries`` / ``--run-timeout``
+bound retries and hangs per run, and ``--keep-going`` completes every
+experiment it can when one fails, exiting 1 with a failure summary
+instead of a traceback; failed runs are recorded under
+``results/failures/``.
 """
 
 from __future__ import annotations
@@ -18,8 +24,10 @@ import sys
 import time
 
 from repro.analysis import experiments as exp
+from repro.analysis.faults import ExecutionPolicy
 from repro.analysis.runner import CachedRunner, default_jobs
 from repro.analysis.tables import render_percent
+from repro.exceptions import ReproError
 
 OUT_DIR = os.path.join("results", "experiments")
 
@@ -40,78 +48,173 @@ def main(argv=None) -> int:
         help="worker processes for simulation cache misses "
              "(default: REPRO_JOBS or cpu_count()-1; 1 disables the pool)",
     )
+    parser.add_argument(
+        "--max-retries", type=int, default=None,
+        help="re-executions of a failed run before it is recorded as a "
+             "casualty (default 2)",
+    )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None,
+        help="per-run watchdog timeout in seconds for pool execution "
+             "(default: unlimited)",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="complete every experiment that can run when one fails; "
+             "exit 1 with a failure summary instead of a traceback",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    runner = CachedRunner(jobs=jobs)
+    defaults = ExecutionPolicy()
+    policy = ExecutionPolicy(
+        max_retries=(
+            defaults.max_retries
+            if args.max_retries is None
+            else args.max_retries
+        ),
+        run_timeout=args.run_timeout,
+        keep_going=args.keep_going,
+    )
+    runner = CachedRunner(jobs=jobs, policy=policy)
     t0 = time.time()
 
-    save("table1", exp.table1_text())
-    save("table5", exp.table5_text())
+    failed_steps = []
 
-    fig1 = exp.figure1_scaling(("dct", "bfs", "pf"), runner)
-    save("fig1", fig1.as_text() + "\n\n" + "\n\n".join(
-        fig1.plot(b) for b in fig1.benchmarks))
+    def step(label, fn):
+        """Run one experiment step; with --keep-going a failure skips
+        just this step (recording it) instead of aborting the sweep."""
+        try:
+            return fn()
+        except ReproError as error:
+            if not args.keep_going:
+                raise
+            failed_steps.append(label)
+            print(f"[skip] {label} failed: {error}", file=sys.stderr)
+            return None
 
-    classification = exp.figure1_scaling(
-        tuple(exp.strong_scaling_names()), runner
-    )
-    save("table2_classification", classification.as_text())
+    step("table1", lambda: save("table1", exp.table1_text()))
+    step("table5", lambda: save("table5", exp.table5_text()))
 
-    fig2 = exp.figure2_miss_rate_curves(
-        ("dct", "bfs", "pf", "fwt", "lu", "btree"), runner)
-    save("fig2", fig2.as_text())
+    def run_fig1():
+        fig1 = exp.figure1_scaling(("dct", "bfs", "pf"), runner)
+        save("fig1", fig1.as_text() + "\n\n" + "\n\n".join(
+            fig1.plot(b) for b in fig1.benchmarks))
+        return fig1
 
-    fig4a = exp.figure4_strong_accuracy(128, runner=runner)
-    save("fig4a", fig4a.as_text())
-    fig4b = exp.figure4_strong_accuracy(64, runner=runner)
-    save("fig4b", fig4b.as_text())
+    step("fig1", run_fig1)
 
-    fig5 = exp.figure5_prediction_curves(runner=runner)
-    save("fig5", fig5.as_text())
+    def run_classification():
+        result = exp.figure1_scaling(tuple(exp.strong_scaling_names()), runner)
+        save("table2_classification", result.as_text())
+        return result
 
-    fig6 = exp.figure6_weak_accuracy(runner=runner)
-    save("fig6", "\n\n".join(fig6[t].as_text() for t in sorted(fig6)))
+    classification = step("table2_classification", run_classification)
 
-    fig7 = exp.figure7_speedup(runner)
-    save("fig7", fig7.as_text())
+    def run_fig2():
+        result = exp.figure2_miss_rate_curves(
+            ("dct", "bfs", "pf", "fwt", "lu", "btree"), runner)
+        save("fig2", result.as_text())
+        return result
 
-    fig8 = exp.figure8_mcm_accuracy(runner)
-    save("fig8", fig8.as_text())
+    fig2 = step("fig2", run_fig2)
+
+    def run_fig4(target, name):
+        result = exp.figure4_strong_accuracy(target, runner=runner)
+        save(name, result.as_text())
+        return result
+
+    fig4a = step("fig4a", lambda: run_fig4(128, "fig4a"))
+    fig4b = step("fig4b", lambda: run_fig4(64, "fig4b"))
+
+    def run_fig5():
+        result = exp.figure5_prediction_curves(runner=runner)
+        save("fig5", result.as_text())
+        return result
+
+    step("fig5", run_fig5)
+
+    def run_fig6():
+        result = exp.figure6_weak_accuracy(runner=runner)
+        save("fig6", "\n\n".join(result[t].as_text() for t in sorted(result)))
+        return result
+
+    fig6 = step("fig6", run_fig6)
+
+    def run_fig7():
+        result = exp.figure7_speedup(runner)
+        save("fig7", result.as_text())
+        return result
+
+    fig7 = step("fig7", run_fig7)
+
+    def run_fig8():
+        result = exp.figure8_mcm_accuracy(runner)
+        save("fig8", result.as_text())
+        return result
+
+    fig8 = step("fig8", run_fig8)
 
     # Ablation: trained one-size-fits-all model (the prior-work approach).
-    from repro.analysis.parallel import RunRequest
-    from repro.core.trained import leave_one_out_errors
-    from repro.workloads import STRONG_SCALING
+    def run_trained():
+        from repro.analysis.parallel import RunRequest
+        from repro.core.trained import leave_one_out_errors
+        from repro.workloads import STRONG_SCALING
 
-    runner.prefetch([
-        RunRequest("sim", spec, size=n)
-        for spec in STRONG_SCALING.values()
-        for n in (8, 16, 32, 64, 128)
-    ])
-    curves = {
-        abbr: {n: runner.simulate(spec, n).ipc for n in (8, 16, 32, 64, 128)}
-        for abbr, spec in STRONG_SCALING.items()
-    }
-    trained = leave_one_out_errors(curves, anchor_size=16, target_size=128)
-    trained_avg = sum(trained.values()) / len(trained)
-    trained_text = "\n".join(
-        f"{abbr:6s} {100 * err:6.1f}%" for abbr, err in sorted(trained.items())
-    ) + f"\navg    {100 * trained_avg:6.1f}%  max {100 * max(trained.values()):6.1f}%"
-    save("ablation_trained_global_model", trained_text)
+        runner.prefetch([
+            RunRequest("sim", spec, size=n)
+            for spec in STRONG_SCALING.values()
+            for n in (8, 16, 32, 64, 128)
+        ])
+        curves = {
+            abbr: {
+                n: runner.simulate(spec, n).ipc for n in (8, 16, 32, 64, 128)
+            }
+            for abbr, spec in STRONG_SCALING.items()
+        }
+        errors = leave_one_out_errors(curves, anchor_size=16, target_size=128)
+        avg = sum(errors.values()) / len(errors)
+        text = "\n".join(
+            f"{abbr:6s} {100 * err:6.1f}%"
+            for abbr, err in sorted(errors.items())
+        ) + (f"\navg    {100 * avg:6.1f}%"
+             f"  max {100 * max(errors.values()):6.1f}%")
+        save("ablation_trained_global_model", text)
+        return errors, avg
+
+    trained_step = step("ablation_trained_global_model", run_trained)
+    trained, trained_avg = trained_step if trained_step else (None, None)
 
     # Ablation: 16/32-SM scale models (artifact appendix experiment).
-    abl = exp.figure4_strong_accuracy(128, runner=runner, scale_sizes=(16, 32))
-    save("ablation_scale_models_16_32", abl.as_text())
-    abl64 = exp.figure4_strong_accuracy(64, runner=runner, scale_sizes=(16, 32))
-    save("ablation_scale_models_16_32_t64", abl64.as_text())
+    def run_ablation(target, name):
+        result = exp.figure4_strong_accuracy(
+            target, runner=runner, scale_sizes=(16, 32)
+        )
+        save(name, result.as_text())
+        return result
 
-    write_experiments_md(classification, fig2, fig4a, fig4b, fig6, fig7, fig8,
-                         abl, abl64, trained, trained_avg)
+    abl = step("ablation_scale_models_16_32",
+               lambda: run_ablation(128, "ablation_scale_models_16_32"))
+    abl64 = step("ablation_scale_models_16_32_t64",
+                 lambda: run_ablation(64, "ablation_scale_models_16_32_t64"))
+
+    summary_inputs = (classification, fig2, fig4a, fig4b, fig6, fig7, fig8,
+                      abl, abl64)
+    if all(piece is not None for piece in summary_inputs):
+        write_experiments_md(classification, fig2, fig4a, fig4b, fig6, fig7,
+                             fig8, abl, abl64, trained, trained_avg)
+    else:
+        print("EXPERIMENTS.md not rewritten: required experiments failed",
+              file=sys.stderr)
     runner.flush()
     stats = runner.stats()
     print(f"total: {time.time() - t0:.0f}s; cache hits={stats['hits']} "
           f"misses={stats['misses']} flushes={stats['flushes']} "
           f"entries={stats['entries']} jobs={jobs}")
+    print(runner.execution_health())
+    if failed_steps:
+        print(f"completed with failures: {', '.join(failed_steps)}",
+              file=sys.stderr)
+        return 1
     return 0
 
 

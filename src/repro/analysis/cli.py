@@ -15,6 +15,13 @@ Simulations are cached in sharded JSONL files under ``results/simcache/``
 run of the heavier experiments takes minutes, repeats are instantaneous.
 ``--jobs N`` (or ``REPRO_JOBS``) fans cache misses out across N worker
 processes; results are identical to a serial run.
+
+Execution is fault-tolerant: a raising or hung run costs that run, not
+the batch.  ``--max-retries`` bounds re-execution of failed runs,
+``--run-timeout`` arms a per-run watchdog, and ``--keep-going`` finishes
+the remaining experiments when one fails, exiting with a failure summary
+(and exit code 1) instead of a traceback.  Failed runs are recorded in
+``results/failures/<benchmark>.jsonl`` with enough context to re-run.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import argparse
 import sys
 
 from repro.analysis import experiments as exp
+from repro.analysis.faults import ExecutionPolicy
 from repro.analysis.runner import CachedRunner, DEFAULT_CACHE, default_jobs
 from repro.exceptions import ReproError
 
@@ -49,7 +57,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for cache misses "
                              "(default: REPRO_JOBS or cpu_count()-1)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        help="re-executions of a failed run before it is "
+                             "recorded as a casualty (default 2)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        help="per-run watchdog timeout in seconds for "
+                             "pool execution (default: unlimited)")
+    parser.add_argument("--keep-going", action="store_true",
+                        help="finish the remaining experiments when one "
+                             "fails; exit 1 with a failure summary")
     return parser
+
+
+def build_policy(args) -> ExecutionPolicy:
+    """Map the CLI's fault-tolerance flags onto an ExecutionPolicy."""
+    defaults = ExecutionPolicy()
+    return ExecutionPolicy(
+        max_retries=(
+            defaults.max_retries
+            if args.max_retries is None
+            else args.max_retries
+        ),
+        run_timeout=args.run_timeout,
+        keep_going=args.keep_going,
+    )
 
 
 def run_experiment(name: str, args, runner: CachedRunner, out) -> None:
@@ -98,23 +129,40 @@ def run_experiment(name: str, args, runner: CachedRunner, out) -> None:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
-    runner = CachedRunner(None if args.no_cache else args.cache, jobs=jobs)
+    runner = CachedRunner(
+        None if args.no_cache else args.cache,
+        jobs=jobs,
+        policy=build_policy(args),
+    )
     names = (
         ["table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6",
          "fig7", "fig8", "artifact"]
         if args.experiment == "all"
         else [args.experiment]
     )
+    failed = []
     try:
         for name in names:
-            if name == "fig4" and args.experiment == "all":
-                for target in (64, 128):
-                    result = exp.figure4_strong_accuracy(target, runner=runner)
-                    print(result.as_text())
-                    print()
-                continue
-            run_experiment(name, args, runner, sys.stdout)
-            print()
+            try:
+                if name == "fig4" and args.experiment == "all":
+                    for target in (64, 128):
+                        result = exp.figure4_strong_accuracy(
+                            target, runner=runner
+                        )
+                        print(result.as_text())
+                        print()
+                    continue
+                run_experiment(name, args, runner, sys.stdout)
+                print()
+            except ReproError as error:
+                if not args.keep_going:
+                    raise
+                failed.append(name)
+                print(
+                    f"error: {name} failed ({error}); continuing "
+                    "(--keep-going)",
+                    file=sys.stderr,
+                )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -124,11 +172,18 @@ def main(argv=None) -> int:
         print(
             "cache: {hits} hits, {misses} misses, {flushes} flushes, "
             "{entries} entries, {quarantined_shards} quarantined shards, "
+            "{schema_mismatches} schema mismatches, "
             "{legacy_imported} legacy entries imported (jobs={jobs})".format(
                 **stats
             ),
             file=sys.stderr,
         )
+        print(runner.execution_health(), file=sys.stderr)
+    if failed:
+        print(
+            f"completed with failures: {', '.join(failed)}", file=sys.stderr
+        )
+        return 1
     return 0
 
 

@@ -1,0 +1,303 @@
+"""Fault-tolerant execution primitives for the parallel runner.
+
+Large simulation campaigns treat worker faults as expected events, not
+fatal ones: a single raising run, a hung run or a dead worker process
+must cost exactly that run, never the batch.  This module holds the
+pieces :class:`repro.analysis.parallel.ParallelRunner` uses to deliver
+that contract:
+
+* :class:`ExecutionPolicy` — the retry/timeout/degradation knobs
+  (``--max-retries``, ``--run-timeout``, ``--keep-going`` on the CLIs).
+* :class:`RunOutcome` — the per-run execution record: ok, failed or
+  timed out, with the attempt count and the captured traceback.
+* :class:`BatchReport` — the per-batch aggregate: outcomes in key order,
+  pool-death count, whether execution degraded to serial.
+* :class:`FailureManifest` — append-only ``results/failures/<shard>.jsonl``
+  records with enough context (kind, benchmark, size, scale, seed,
+  method, traceback) to re-run every casualty.
+* **Deterministic fault injection** — the ``REPRO_FAULT_INJECT``
+  environment variable arms :func:`maybe_inject`, which the worker entry
+  point calls before every attempt.  Tests (and CI) use it to exercise
+  every failure path without patching simulator internals.
+
+Fault-injection grammar (comma-separated directives)::
+
+    fail:<prefix>[:<n>]   raise on attempts 1..n (always, if n omitted)
+    hang:<prefix>[:<s>]   sleep s seconds (default 3600) — trips timeouts
+    die:<prefix>          kill the worker process (BrokenProcessPool)
+
+A directive matches a run when ``<prefix>`` is a prefix of either the
+cache key (``sim|<digest>|<digest>``) or the human-readable pseudo-id
+``<kind>|<benchmark abbr>`` (e.g. ``sim|va``).  Prefixes therefore never
+contain ``:`` or ``,``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ExecutionPolicy",
+    "RunOutcome",
+    "BatchReport",
+    "FailureManifest",
+    "InjectedFaultError",
+    "FAULT_INJECT_ENV",
+    "OK",
+    "FAILED",
+    "TIMEOUT",
+    "parse_fault_plan",
+    "maybe_inject",
+]
+
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+# RunOutcome.status values.
+OK = "ok"
+FAILED = "failed"
+TIMEOUT = "timeout"
+
+_SHARD_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
+
+_DEFAULT_HANG_SECONDS = 3600.0
+
+
+class InjectedFaultError(ReproError):
+    """A deliberate failure raised by the ``REPRO_FAULT_INJECT`` hook."""
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Retry, timeout and degradation knobs for one batch execution.
+
+    ``max_retries`` bounds *re*-executions after the first attempt, so a
+    run is tried at most ``max_retries + 1`` times.  ``run_timeout``
+    (seconds, ``None`` = unlimited) arms the per-run watchdog — pool
+    execution only; a serial run cannot be interrupted from within.
+    ``keep_going`` turns end-of-batch failures into a report instead of
+    an :class:`repro.exceptions.ExecutionError`.  After
+    ``max_pool_deaths`` ``BrokenProcessPool`` events the batch degrades
+    to serial in-process execution for the remaining runs.
+    """
+
+    max_retries: int = 2
+    run_timeout: Optional[float] = None
+    keep_going: bool = False
+    backoff_base: float = 0.05
+    max_pool_deaths: int = 2
+
+    def backoff(self, attempt: int) -> float:
+        """Exponential backoff before re-running a failed ``attempt``."""
+        return self.backoff_base * (2.0 ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """How one run ended: status, attempt count, captured traceback.
+
+    ``size``/``work_scale``/``seed``/``method`` mirror the originating
+    :class:`repro.analysis.parallel.RunRequest` so a manifest entry can
+    be turned back into a run without consulting anything else.
+    """
+
+    key: str
+    kind: str
+    shard: str
+    status: str
+    attempts: int = 1
+    error: Optional[str] = None
+    size: int = 0
+    work_scale: float = 1.0
+    seed: int = 0
+    method: str = "stack"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregate outcome of one ``run_batch`` call, in key order."""
+
+    outcomes: Tuple[RunOutcome, ...] = ()
+    pool_deaths: int = 0
+    degraded_to_serial: bool = False
+
+    @property
+    def executed(self) -> int:
+        """Number of runs that completed successfully."""
+        return sum(1 for outcome in self.outcomes if outcome.ok)
+
+    @property
+    def failures(self) -> Tuple[RunOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def retries(self) -> int:
+        return sum(o.attempts - 1 for o in self.outcomes)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "ok": self.executed,
+            "failed": sum(1 for o in self.outcomes if o.status == FAILED),
+            "timeout": sum(1 for o in self.outcomes if o.status == TIMEOUT),
+            "retries": self.retries,
+            "pool_deaths": self.pool_deaths,
+        }
+
+    def summary(self) -> str:
+        counts = self.counts()
+        text = (
+            "execution: {ok} ok, {failed} failed, {timeout} timed out, "
+            "{retries} retries, {pool_deaths} pool deaths".format(**counts)
+        )
+        if self.degraded_to_serial:
+            text += " (degraded to serial)"
+        return text
+
+
+class FailureManifest:
+    """Append-only JSONL record of failed runs, one shard per benchmark.
+
+    Lives beside the result store (``results/failures/<shard>.jsonl``).
+    Append-only like the store itself: a crash can at worst truncate the
+    final line, and re-runs simply append fresh records.  ``root=None``
+    disables persistence (memory-only stores).
+    """
+
+    def __init__(self, root: Optional[str]) -> None:
+        self.root = root
+
+    def path_for(self, shard: str) -> Optional[str]:
+        if not self.root:
+            return None
+        name = _SHARD_SANITIZER.sub("_", shard) or "misc"
+        return os.path.join(self.root, f"{name}.jsonl")
+
+    def append(self, outcomes: Iterable[RunOutcome]) -> int:
+        """Append one record per outcome; returns the number written.
+
+        Manifest I/O must never mask the failure it is recording, so
+        filesystem errors degrade to a warning.
+        """
+        if not self.root:
+            return 0
+        by_shard: Dict[str, List[str]] = {}
+        stamp = time.time()
+        for outcome in outcomes:
+            record = dict(asdict(outcome), recorded_at=stamp)
+            by_shard.setdefault(outcome.shard, []).append(json.dumps(record))
+        if not by_shard:
+            return 0
+        written = 0
+        try:
+            os.makedirs(self.root, exist_ok=True)
+            for shard, lines in sorted(by_shard.items()):
+                with open(self.path_for(shard), "a") as fh:
+                    fh.write("".join(line + "\n" for line in lines))
+                written += len(lines)
+        except OSError as error:
+            warnings.warn(
+                f"failure manifest: cannot write under {self.root}: {error}"
+            )
+        return written
+
+
+# --- deterministic fault injection ---------------------------------------------
+
+@dataclass(frozen=True)
+class _FaultDirective:
+    action: str  # fail | hang | die
+    prefix: str
+    arg: Optional[float]  # fail: attempt bound; hang: sleep seconds
+
+
+def parse_fault_plan(plan: str) -> Tuple[_FaultDirective, ...]:
+    """Parse a ``REPRO_FAULT_INJECT`` value (see module docstring)."""
+    directives = []
+    for part in plan.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        bits = part.split(":")
+        if len(bits) == 2:
+            action, prefix, arg = bits[0], bits[1], None
+        elif len(bits) == 3:
+            action, prefix = bits[0], bits[1]
+            try:
+                arg = float(bits[2])
+            except ValueError:
+                raise ReproError(
+                    f"fault injection: non-numeric argument in {part!r}"
+                )
+        else:
+            raise ReproError(
+                f"fault injection: malformed directive {part!r} "
+                "(expected action:prefix[:arg])"
+            )
+        if action not in ("fail", "hang", "die"):
+            raise ReproError(
+                f"fault injection: unknown action {action!r} in {part!r}"
+            )
+        if not prefix:
+            raise ReproError(f"fault injection: empty prefix in {part!r}")
+        directives.append(_FaultDirective(action, prefix, arg))
+    return tuple(directives)
+
+
+def maybe_inject(
+    key: str,
+    kind: str,
+    shard: str,
+    attempt: int,
+    allow_exit: bool = True,
+) -> None:
+    """Apply the ``REPRO_FAULT_INJECT`` plan to one run attempt.
+
+    No-op unless the environment variable is set and a directive's
+    prefix matches the run (see module docstring for the grammar).
+    ``allow_exit=False`` (serial, in-process execution) converts a
+    ``die`` directive into a raised :class:`InjectedFaultError` so the
+    host process survives.
+    """
+    plan = os.environ.get(FAULT_INJECT_ENV)
+    if not plan:
+        return
+    targets = (key, f"{kind}|{shard}")
+    for directive in parse_fault_plan(plan):
+        if not any(t.startswith(directive.prefix) for t in targets):
+            continue
+        if directive.action == "fail":
+            bound = directive.arg if directive.arg is not None else float("inf")
+            if attempt <= bound:
+                raise InjectedFaultError(
+                    f"injected failure for {key} (attempt {attempt})"
+                )
+        elif directive.action == "hang":
+            seconds = (
+                directive.arg if directive.arg is not None
+                else _DEFAULT_HANG_SECONDS
+            )
+            time.sleep(seconds)
+            raise InjectedFaultError(
+                f"injected hang for {key} expired after {seconds}s"
+            )
+        else:  # die
+            if allow_exit:
+                os._exit(3)
+            raise InjectedFaultError(
+                f"injected worker death for {key} (serial mode: raising)"
+            )

@@ -1,4 +1,4 @@
-"""Parallel execution of simulation batches.
+"""Parallel, fault-tolerant execution of simulation batches.
 
 The experiment harness is embarrassingly parallel: every figure/table is
 a set of independent (benchmark, size) runs, each a pure function of its
@@ -7,25 +7,56 @@ spec, scale and seed.  :class:`ParallelRunner` takes a batch of
 has, executes the misses across a ``ProcessPoolExecutor`` and merges the
 results back into the store in deterministic (key-sorted) order.
 
-Worker processes recompute nothing that is cached and communicate only
-picklable inputs (frozen dataclass specs) and JSON payloads, so a worker
-crash loses at most its own runs.  Serial execution of the same batch
-produces identical payloads for every deterministic field; only
-``wall_time_s`` (a host-time measurement) differs between executions.
+Faults are isolated per run, never per batch:
+
+* Runs are submitted individually, so one raising worker costs one run.
+* Failed attempts are retried with exponential backoff, up to
+  ``ExecutionPolicy.max_retries`` times.
+* A per-run timeout watchdog (``ExecutionPolicy.run_timeout``) abandons
+  hung runs and recycles the pool so their workers stop occupying slots.
+* ``BrokenProcessPool`` (worker OOM/segfault) respawns the pool and
+  resumes the remaining runs; after ``max_pool_deaths`` deaths the batch
+  degrades to serial in-process execution.
+* Completed results always merge into the store — even when the batch
+  ultimately raises :class:`repro.exceptions.ExecutionError` — and every
+  casualty lands in the append-only failure manifest
+  (``results/failures/<shard>.jsonl``) with enough context to re-run.
+
+Serial execution of the same batch produces identical payloads for every
+deterministic field; only ``wall_time_s`` (a host-time measurement)
+differs between executions.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import heapq
+import itertools
+import os
+import time
+import traceback
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis import runner as _runner
+from repro.analysis.faults import (
+    FAILED,
+    OK,
+    TIMEOUT,
+    BatchReport,
+    ExecutionPolicy,
+    FailureManifest,
+    RunOutcome,
+    maybe_inject,
+)
 from repro.analysis.simcache import ResultStore
-from repro.exceptions import ReproError
+from repro.exceptions import ExecutionError, ReproError
 from repro.workloads.spec import BenchmarkSpec
 
-__all__ = ["RunRequest", "ParallelRunner"]
+__all__ = ["RunRequest", "ParallelRunner", "execute_request", "execute_attempt"]
 
 KINDS = ("sim", "mcm", "mrc")
 
@@ -82,44 +113,343 @@ def execute_request(request: RunRequest) -> Tuple[str, str, dict]:
     return request.key, request.spec.abbr, payload
 
 
-class ParallelRunner:
-    """Executes the cache misses of a request batch across processes."""
+def execute_attempt(
+    request: RunRequest, attempt: int = 1, allow_exit: bool = True
+) -> Tuple[str, str, dict]:
+    """One guarded attempt: fault injection first, then the real run.
 
-    def __init__(self, store: ResultStore, jobs: int = 0) -> None:
+    The attempt number travels with the call so ``fail:<prefix>:<n>``
+    directives behave deterministically even though worker processes
+    share no state.
+    """
+    maybe_inject(
+        request.key, request.kind, request.spec.abbr, attempt,
+        allow_exit=allow_exit,
+    )
+    return execute_request(request)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung or dead workers.
+
+    ``shutdown(wait=True)`` would block forever behind a hung run, so
+    workers are terminated outright; every task we still care about has
+    already been retrieved or will be resubmitted to a fresh pool.
+    """
+    workers = list((getattr(pool, "_processes", None) or {}).values())
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for worker in workers:
+        try:
+            worker.terminate()
+        except Exception:
+            pass
+
+
+class _BatchState:
+    """Mutable pool-health bookkeeping threaded through one batch."""
+
+    def __init__(self) -> None:
+        self.pool_deaths = 0
+        self.degraded = False
+
+
+def _outcome(
+    request: RunRequest, status: str, attempts: int, error: Optional[str] = None
+) -> RunOutcome:
+    return RunOutcome(
+        key=request.key,
+        kind=request.kind,
+        shard=request.spec.abbr,
+        status=status,
+        attempts=attempts,
+        error=error,
+        size=request.size,
+        work_scale=request.work_scale,
+        seed=request.seed,
+        method=request.method,
+    )
+
+
+class ParallelRunner:
+    """Executes the cache misses of a request batch across processes.
+
+    ``policy`` governs retries, timeouts and degradation (see
+    :class:`repro.analysis.faults.ExecutionPolicy`); the failure manifest
+    is written under ``<store parent>/failures/`` unless ``manifest_root``
+    overrides it (``None`` with a memory-only store disables it).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore,
+        jobs: int = 0,
+        policy: Optional[ExecutionPolicy] = None,
+        manifest_root: Optional[str] = None,
+    ) -> None:
         self.store = store
         self.jobs = jobs if jobs >= 1 else _runner.default_jobs()
+        self.policy = policy or ExecutionPolicy()
+        if manifest_root is None and store.root:
+            manifest_root = os.path.join(
+                os.path.dirname(store.root), "failures"
+            )
+        self.manifest = FailureManifest(manifest_root)
+        self.last_report = BatchReport()
 
     def run_batch(self, requests: Iterable[RunRequest]) -> int:
         """Compute every miss in ``requests``; returns the executed count.
 
+        Thin wrapper over :meth:`run_batch_report` for callers that only
+        need the count.
+        """
+        return self.run_batch_report(requests).executed
+
+    def run_batch_report(self, requests: Iterable[RunRequest]) -> BatchReport:
+        """Compute every miss in ``requests``; returns the full report.
+
         Duplicate descriptors are collapsed; results merge into the
         store sorted by key, so the shard contents do not depend on
-        worker scheduling.
+        worker scheduling.  Completed results are merged *before* any
+        failure propagates; failed runs are appended to the failure
+        manifest and — unless ``policy.keep_going`` — reported as one
+        :class:`repro.exceptions.ExecutionError` at the end.
         """
         unique: Dict[str, RunRequest] = {}
         for request in requests:
             unique.setdefault(request.key, request)
-        misses: List[Tuple[str, RunRequest]] = [
-            (key, request)
+        pending = [
+            request
             for key, request in unique.items()
             if not self.store.contains(key)
         ]
-        if not misses:
-            return 0
-        pending = [request for _, request in misses]
-        if self.jobs <= 1 or len(pending) == 1:
-            executed = [execute_request(request) for request in pending]
-        else:
-            workers = min(self.jobs, len(pending))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                executed = list(pool.map(execute_request, pending))
-        # Merge as one batched flush: stage every record, write once.
+        if not pending:
+            self.last_report = BatchReport()
+            return self.last_report
+        outcomes: Dict[str, RunOutcome] = {}
+        executed: List[Tuple[str, str, dict]] = []
+        state = _BatchState()
+        try:
+            if self.jobs <= 1 or len(pending) == 1:
+                self._run_serial(
+                    [(request, 1) for request in pending], outcomes, executed
+                )
+            else:
+                self._run_pool(pending, outcomes, executed, state)
+        finally:
+            # Whatever completed must reach the store even if the
+            # coordination loop itself blew up.
+            self._merge(executed)
+        report = BatchReport(
+            outcomes=tuple(outcomes[key] for key in sorted(outcomes)),
+            pool_deaths=state.pool_deaths,
+            degraded_to_serial=state.degraded,
+        )
+        self.last_report = report
+        failures = report.failures
+        if failures:
+            self.manifest.append(failures)
+            if not self.policy.keep_going:
+                where = (
+                    f"; failure manifest: {self.manifest.root}"
+                    if self.manifest.root
+                    else ""
+                )
+                raise ExecutionError(
+                    f"{len(failures)} of {len(pending)} runs failed "
+                    f"({report.summary()}); {report.executed} completed "
+                    f"results were saved{where}"
+                )
+        return report
+
+    # --- execution paths -------------------------------------------------------
+    def _run_serial(
+        self,
+        items: List[Tuple[RunRequest, int]],
+        outcomes: Dict[str, RunOutcome],
+        executed: List[Tuple[str, str, dict]],
+    ) -> None:
+        """In-process execution with retries; also the degradation path.
+
+        Per-run timeouts cannot be enforced from within the executing
+        process, so ``run_timeout`` only applies to pool execution.
+        """
+        policy = self.policy
+        for request, attempt in items:
+            while True:
+                try:
+                    key, shard, payload = execute_attempt(
+                        request, attempt, allow_exit=False
+                    )
+                except Exception:
+                    if attempt <= policy.max_retries:
+                        time.sleep(policy.backoff(attempt))
+                        attempt += 1
+                        continue
+                    outcomes[request.key] = _outcome(
+                        request, FAILED, attempt, traceback.format_exc()
+                    )
+                    break
+                executed.append((key, shard, payload))
+                outcomes[request.key] = _outcome(request, OK, attempt)
+                break
+
+    def _run_pool(
+        self,
+        pending: List[RunRequest],
+        outcomes: Dict[str, RunOutcome],
+        executed: List[Tuple[str, str, dict]],
+        state: _BatchState,
+    ) -> None:
+        policy = self.policy
+        workers = min(self.jobs, len(pending))
+        queue = deque((request, 1) for request in pending)
+        # Min-heap of (ready_time, seq, request, attempt); seq breaks
+        # ties because RunRequest does not order.
+        retries: List[Tuple[float, int, RunRequest, int]] = []
+        seq = itertools.count()
+        inflight: Dict = {}  # future -> (request, attempt, deadline)
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            while queue or retries or inflight:
+                now = time.monotonic()
+                while retries and retries[0][0] <= now:
+                    _, _, request, attempt = heapq.heappop(retries)
+                    queue.append((request, attempt))
+                broken = False
+                # Keep at most ``workers`` runs in flight so each run's
+                # timeout clock starts when it actually starts running.
+                while queue and len(inflight) < workers:
+                    request, attempt = queue.popleft()
+                    deadline = (
+                        now + policy.run_timeout
+                        if policy.run_timeout
+                        else float("inf")
+                    )
+                    try:
+                        future = pool.submit(execute_attempt, request, attempt)
+                    except (BrokenProcessPool, RuntimeError):
+                        queue.appendleft((request, attempt))
+                        broken = True
+                        break
+                    inflight[future] = (request, attempt, deadline)
+                if not broken and not inflight:
+                    if retries:
+                        time.sleep(
+                            max(0.0, retries[0][0] - time.monotonic())
+                        )
+                        continue
+                    break
+                if not broken:
+                    next_deadline = min(d for _, _, d in inflight.values())
+                    next_retry = retries[0][0] if retries else float("inf")
+                    horizon = min(next_deadline, next_retry)
+                    timeout = (
+                        None
+                        if horizon == float("inf")
+                        else max(0.01, horizon - time.monotonic())
+                    )
+                    done, _ = wait(
+                        set(inflight), timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        request, attempt, _ = inflight.pop(future)
+                        try:
+                            key, shard, payload = future.result()
+                        except BrokenProcessPool:
+                            # The casualty is unknown (any worker may have
+                            # died); resubmit at the same attempt number.
+                            queue.append((request, attempt))
+                            broken = True
+                        except Exception:
+                            if attempt <= policy.max_retries:
+                                heapq.heappush(
+                                    retries,
+                                    (
+                                        time.monotonic()
+                                        + policy.backoff(attempt),
+                                        next(seq),
+                                        request,
+                                        attempt + 1,
+                                    ),
+                                )
+                            else:
+                                outcomes[request.key] = _outcome(
+                                    request, FAILED, attempt,
+                                    traceback.format_exc(),
+                                )
+                        else:
+                            executed.append((key, shard, payload))
+                            outcomes[request.key] = _outcome(
+                                request, OK, attempt
+                            )
+                if broken:
+                    for future, (request, attempt, _) in inflight.items():
+                        queue.append((request, attempt))
+                    inflight.clear()
+                    state.pool_deaths += 1
+                    _shutdown_pool(pool)
+                    if state.pool_deaths >= policy.max_pool_deaths:
+                        state.degraded = True
+                        warnings.warn(
+                            f"parallel runner: worker pool died "
+                            f"{state.pool_deaths} times; degrading to "
+                            f"serial execution for the remaining "
+                            f"{len(queue) + len(retries)} runs"
+                        )
+                        remaining = list(queue) + [
+                            (request, attempt)
+                            for _, _, request, attempt in sorted(retries)
+                        ]
+                        queue.clear()
+                        retries.clear()
+                        self._run_serial(remaining, outcomes, executed)
+                        return
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    continue
+                # Per-run timeout sweep: abandon expired runs, recycle the
+                # pool (a hung worker keeps its slot forever otherwise)
+                # and resubmit the innocent in-flight runs.
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, _, deadline) in inflight.items()
+                    if deadline <= now
+                ]
+                if expired:
+                    for future in expired:
+                        request, attempt, _ = inflight.pop(future)
+                        future.cancel()
+                        outcomes[request.key] = _outcome(
+                            request, TIMEOUT, attempt,
+                            f"run exceeded the per-run timeout of "
+                            f"{policy.run_timeout}s",
+                        )
+                    for future, (request, attempt, _) in inflight.items():
+                        future.cancel()
+                        queue.append((request, attempt))
+                    inflight.clear()
+                    _shutdown_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+        finally:
+            _shutdown_pool(pool)
+
+    # --- merging ---------------------------------------------------------------
+    def _merge(self, executed: List[Tuple[str, str, dict]]) -> None:
+        """Merge completed results as one batched, key-sorted flush."""
+        if not executed:
+            return
         previous = self.store.flush_every
         self.store.flush_every = len(executed) + 1
         try:
             for key, shard, payload in sorted(executed, key=lambda item: item[0]):
                 self.store.put(key, payload, shard=shard)
         finally:
+            # Restore the batching window and flush whatever was staged
+            # even if a put raised mid-merge — the store must never be
+            # left holding unflushed records with an inflated window.
             self.store.flush_every = previous
-        self.store.flush()
-        return len(executed)
+            self.store.flush()

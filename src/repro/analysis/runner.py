@@ -18,16 +18,27 @@ and call :meth:`CachedRunner.prefetch`.  Parallel and serial execution
 produce identical results for every deterministic field — each run is a
 pure function of (spec, scale, seed); only ``wall_time_s``, a host-time
 measurement, varies between executions.
+
+Execution is fault-tolerant (see :mod:`repro.analysis.faults` and
+``docs/ARCHITECTURE.md`` § "Fault tolerance"): worker failures are
+isolated per run, retried, timed out and recorded; completed results
+always reach the store, and :meth:`CachedRunner.execution_health`
+summarizes the casualties.  Cached payloads whose schema drifted (e.g.
+after a field was added to :class:`SimulationResult`) degrade to a miss
+plus a ``schema_mismatches`` stat, never a ``TypeError``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import os
-from dataclasses import asdict
+import warnings
+from dataclasses import MISSING, asdict, fields
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.analysis.faults import BatchReport, ExecutionPolicy, maybe_inject
 from repro.analysis.simcache import ResultStore
+from repro.exceptions import ReproError
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
@@ -44,7 +55,10 @@ def default_jobs() -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warnings.warn(
+                f"REPRO_JOBS={env!r} is not an integer; falling back to "
+                "cpu_count() - 1"
+            )
     return max(1, (os.cpu_count() or 2) - 1)
 
 
@@ -167,6 +181,50 @@ def curve_from_payload(payload: dict) -> MissRateCurve:
     )
 
 
+# --- cached-payload validation (schema drift tolerance) ------------------------
+#
+# A cached payload written by an older (or newer) version of the code may
+# be missing fields the current record type requires, or carry fields it
+# no longer knows.  Rehydrating such a payload must degrade to a cache
+# miss — recompute and overwrite — never to a ``TypeError`` that kills
+# the run.
+
+_RESULT_FIELD_NAMES = frozenset(f.name for f in fields(SimulationResult))
+_RESULT_REQUIRED = frozenset(
+    f.name
+    for f in fields(SimulationResult)
+    if f.default is MISSING and f.default_factory is MISSING
+)
+
+
+def result_from_payload(payload: object) -> Optional[SimulationResult]:
+    """Rehydrate a cached :class:`SimulationResult`, or ``None`` on drift.
+
+    ``None`` means the payload does not match the current schema (missing
+    required fields, unknown extra fields, or values the record rejects)
+    and the entry should be treated as a miss.
+    """
+    if not isinstance(payload, dict):
+        return None
+    names = set(payload)
+    if not _RESULT_REQUIRED <= names or not names <= _RESULT_FIELD_NAMES:
+        return None
+    try:
+        return SimulationResult(**payload)
+    except (TypeError, ValueError, ReproError):
+        return None
+
+
+def safe_curve_from_payload(payload: object) -> Optional[MissRateCurve]:
+    """Rehydrate a cached :class:`MissRateCurve`, or ``None`` on drift."""
+    if not isinstance(payload, dict):
+        return None
+    try:
+        return curve_from_payload(payload)
+    except (KeyError, TypeError, ValueError, ReproError):
+        return None
+
+
 def _resolve_cache_path(
     cache_path: Optional[str],
 ) -> Tuple[Optional[str], Optional[str]]:
@@ -196,13 +254,23 @@ class CachedRunner:
         self,
         cache_path: Optional[str] = DEFAULT_CACHE,
         jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None,
     ) -> None:
         self.cache_path = cache_path
         root, legacy = _resolve_cache_path(cache_path)
         self.store = ResultStore(root, legacy_path=legacy)
         self.jobs = jobs if jobs is not None else 1
+        self.policy = policy
         self.hits = 0
         self.misses = 0
+        self.last_report: Optional[BatchReport] = None
+        self._exec = {
+            "exec_ok": 0,
+            "exec_failed": 0,
+            "exec_timeout": 0,
+            "exec_retries": 0,
+            "exec_pool_deaths": 0,
+        }
 
     # --- batched execution -----------------------------------------------------
     def prefetch(self, requests: Iterable) -> int:
@@ -211,12 +279,30 @@ class CachedRunner:
         Returns the number of runs executed.  With ``jobs <= 1`` this is
         a no-op — the lazy in-process path computes the same values on
         demand, so serial and parallel invocations stay interchangeable.
+        Execution outcomes (failures, timeouts, retries, pool deaths)
+        accumulate into :meth:`stats` / :meth:`execution_health` even
+        when the batch raises.
         """
         if self.jobs <= 1:
             return 0
         from repro.analysis.parallel import ParallelRunner
 
-        return ParallelRunner(self.store, jobs=self.jobs).run_batch(requests)
+        runner = ParallelRunner(self.store, jobs=self.jobs, policy=self.policy)
+        try:
+            return runner.run_batch(requests)
+        finally:
+            self._absorb_report(runner.last_report)
+
+    def _absorb_report(self, report: Optional[BatchReport]) -> None:
+        if report is None:
+            return
+        self.last_report = report
+        counts = report.counts()
+        self._exec["exec_ok"] += counts["ok"]
+        self._exec["exec_failed"] += counts["failed"]
+        self._exec["exec_timeout"] += counts["timeout"]
+        self._exec["exec_retries"] += counts["retries"]
+        self._exec["exec_pool_deaths"] += counts["pool_deaths"]
 
     # --- timing runs ------------------------------------------------------------
     def simulate(
@@ -229,9 +315,16 @@ class CachedRunner:
         key = sim_key(spec, num_sms, work_scale, seed)
         cached = self.store.get(key)
         if cached is not None:
-            self.hits += 1
-            return SimulationResult(**cached)
+            result = result_from_payload(cached)
+            if result is not None:
+                self.hits += 1
+                return result
+            self.store.record_schema_mismatch(key)
         self.misses += 1
+        # The lazy path is one in-process attempt; the fault-injection
+        # hook arms here too so REPRO_FAULT_INJECT exercises the CLIs'
+        # keep-going handling end to end, not just the pool workers.
+        maybe_inject(key, "sim", spec.abbr, attempt=1, allow_exit=False)
         result = compute_sim(spec, num_sms, work_scale, seed)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
@@ -246,9 +339,13 @@ class CachedRunner:
         key = mcm_key(spec, num_chiplets, work_scale, seed)
         cached = self.store.get(key)
         if cached is not None:
-            self.hits += 1
-            return SimulationResult(**cached)
+            result = result_from_payload(cached)
+            if result is not None:
+                self.hits += 1
+                return result
+            self.store.record_schema_mismatch(key)
         self.misses += 1
+        maybe_inject(key, "mcm", spec.abbr, attempt=1, allow_exit=False)
         result = compute_mcm(spec, num_chiplets, work_scale, seed)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
@@ -264,21 +361,38 @@ class CachedRunner:
         key = mrc_key(spec, work_scale, method, seed)
         cached = self.store.get(key)
         if cached is not None:
-            self.hits += 1
-            return curve_from_payload(cached)
+            curve = safe_curve_from_payload(cached)
+            if curve is not None:
+                self.hits += 1
+                return curve
+            self.store.record_schema_mismatch(key)
         self.misses += 1
+        maybe_inject(key, "mrc", spec.abbr, attempt=1, allow_exit=False)
         curve = compute_mrc(spec, work_scale, method, seed)
         self.store.put(key, curve_payload(curve), shard=spec.abbr)
         return curve
 
     # --- housekeeping ----------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """Runner + store telemetry (hits, misses, flushes, quarantines)."""
+        """Runner + store + execution telemetry (hits, misses, flushes,
+        quarantines, failed/timed-out/retried runs, pool deaths)."""
         merged = self.store.stats()
         merged["runner_hits"] = self.hits
         merged["runner_misses"] = self.misses
         merged["jobs"] = self.jobs
+        merged.update(self._exec)
         return merged
+
+    def execution_health(self) -> str:
+        """One-line end-of-run execution summary for CLI/script output."""
+        text = (
+            "execution: {exec_ok} ok, {exec_failed} failed, "
+            "{exec_timeout} timed out, {exec_retries} retries, "
+            "{exec_pool_deaths} pool deaths".format(**self._exec)
+        )
+        if self.last_report is not None and self.last_report.degraded_to_serial:
+            text += " (degraded to serial)"
+        return text
 
     def flush(self) -> None:
         self.store.flush()

@@ -80,6 +80,7 @@ class ResultStore:
             "appended_records": 0,
             "shards_loaded": 0,
             "corrupt_lines": 0,
+            "schema_mismatches": 0,
             "quarantined_shards": 0,
             "legacy_imported": 0,
             "legacy_corrupt": 0,
@@ -170,6 +171,16 @@ class ResultStore:
     def stats(self) -> Dict[str, int]:
         """A snapshot of the store's counters (see module docstring)."""
         return dict(self._stats)
+
+    def record_schema_mismatch(self, key: str = "") -> None:
+        """Count a cached payload whose schema drifted from the current
+        record type; the caller treats the entry as a miss and recomputes."""
+        self._stats["schema_mismatches"] += 1
+        if key:
+            warnings.warn(
+                f"simcache: cached payload for {key} no longer matches the "
+                "current result schema; recomputing"
+            )
 
     # --- loading ---------------------------------------------------------------
     def _load_shards(self) -> None:

@@ -20,13 +20,14 @@ the runner's worker pool.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
 from repro.core.baselines import METHOD_NAMES, make_predictor
 from repro.core.model import ScaleModelPredictor
 from repro.core.profile import ScaleModelProfile
-from repro.exceptions import PredictionError
+from repro.exceptions import ExecutionError, PredictionError
 from repro.gpu import GPUConfig, simulate
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
@@ -99,7 +100,19 @@ def _wire_runner(
         requests.append(RunRequest("mrc", spec))
     prefetch = getattr(runner, "prefetch", None)
     if prefetch is not None:
-        prefetch(requests)
+        # The prefetch is an optimization: it fans cache misses across a
+        # worker pool.  If the batch fails (worker faults, timeouts), the
+        # completed results are already merged into the store, so the
+        # study can still proceed — the lazy in-process path below
+        # recomputes whatever is missing and surfaces the underlying
+        # error only if the run fails deterministically.
+        try:
+            prefetch(requests)
+        except ExecutionError as error:
+            warnings.warn(
+                f"{spec.abbr}: parallel prefetch failed ({error}); "
+                "continuing with in-process execution for the missing runs"
+            )
     return simulate_fn, mrc_fn
 
 

@@ -30,3 +30,13 @@ class PredictionError(ReproError):
 
 class WorkloadError(ReproError):
     """An unknown benchmark or an unsupported workload configuration."""
+
+
+class ExecutionError(ReproError):
+    """A batch execution finished with runs that failed despite retries.
+
+    Raised by :class:`repro.analysis.parallel.ParallelRunner` *after* all
+    completed results have been merged into the result store, so catching
+    it never costs finished work; the failed runs are described in the
+    failure manifest (``results/failures/``).
+    """

@@ -6,6 +6,8 @@ runner so repeated invocations only re-simulate what changed.
 Usage: python scripts/accuracy.py [abbr ...] [--target 128] [--no-cache]
                                   [--jobs N] [--max-retries R]
                                   [--run-timeout S] [--keep-going]
+                                  [--checkpoint-interval N]
+                                  [--checkpoint-dir DIR] [--no-resume]
 """
 
 from __future__ import annotations
@@ -15,7 +17,13 @@ import sys
 
 from repro.analysis.faults import ExecutionPolicy
 from repro.analysis.parallel import RunRequest
-from repro.analysis.runner import CachedRunner, DEFAULT_CACHE, default_jobs
+from repro.analysis.runner import (
+    CachedRunner,
+    DEFAULT_CACHE,
+    default_checkpoint_policy,
+    default_jobs,
+)
+from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.core import METHOD_NAMES, ScaleModelPredictor, ScaleModelProfile
 from repro.core.baselines import make_predictor
 from repro.exceptions import ReproError
@@ -36,6 +44,17 @@ def main(argv=None) -> int:
     parser.add_argument("--keep-going", action="store_true",
                         help="skip benchmarks whose runs fail; exit 1 "
                              "with a failure summary")
+    # Parsed tolerantly (warn + default on garbage), so no type=int here.
+    parser.add_argument("--checkpoint-interval", default=None,
+                        help="kernel boundaries between mid-run snapshots "
+                             "(0 disables; default: "
+                             "REPRO_CHECKPOINT_INTERVAL or 1)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="snapshot directory "
+                             "(default: results/checkpoints)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="keep writing checkpoints but always start "
+                             "runs cold")
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -49,8 +68,17 @@ def main(argv=None) -> int:
         run_timeout=args.run_timeout,
         keep_going=args.keep_going,
     )
+    checkpoint = default_checkpoint_policy(
+        None if args.no_cache else DEFAULT_CACHE,
+        interval=parse_checkpoint_interval(
+            args.checkpoint_interval, default_checkpoint_interval()
+        ),
+        resume=not args.no_resume,
+        root=args.checkpoint_dir,
+    )
     runner = CachedRunner(
-        None if args.no_cache else DEFAULT_CACHE, jobs=jobs, policy=policy
+        None if args.no_cache else DEFAULT_CACHE, jobs=jobs, policy=policy,
+        checkpoint=checkpoint,
     )
     names = args.benchmarks or list(STRONG_SCALING)
     targets = [int(t) for t in args.targets.split(",")]

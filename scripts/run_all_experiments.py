@@ -14,6 +14,11 @@ bound retries and hangs per run, and ``--keep-going`` completes every
 experiment it can when one fails, exiting 1 with a failure summary
 instead of a traceback; failed runs are recorded under
 ``results/failures/``.
+
+Long simulations checkpoint at kernel boundaries (snapshots under
+``results/checkpoints/``) so a retried or killed run resumes instead of
+starting cold; ``--checkpoint-interval`` / ``--checkpoint-dir`` /
+``--no-resume`` tune this (see docs/ARCHITECTURE.md § "Checkpointing").
 """
 
 from __future__ import annotations
@@ -25,7 +30,13 @@ import time
 
 from repro.analysis import experiments as exp
 from repro.analysis.faults import ExecutionPolicy
-from repro.analysis.runner import CachedRunner, default_jobs
+from repro.analysis.runner import (
+    CachedRunner,
+    DEFAULT_CACHE,
+    default_checkpoint_policy,
+    default_jobs,
+)
+from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.analysis.tables import render_percent
 from repro.exceptions import ReproError
 
@@ -63,6 +74,20 @@ def main(argv=None) -> int:
         help="complete every experiment that can run when one fails; "
              "exit 1 with a failure summary instead of a traceback",
     )
+    # Parsed tolerantly (warn + default on garbage), so no type=int here.
+    parser.add_argument(
+        "--checkpoint-interval", default=None,
+        help="kernel boundaries between mid-run snapshots (0 disables; "
+             "default: REPRO_CHECKPOINT_INTERVAL or 1)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None,
+        help="snapshot directory (default: results/checkpoints)",
+    )
+    parser.add_argument(
+        "--no-resume", action="store_true",
+        help="keep writing checkpoints but always start runs cold",
+    )
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     defaults = ExecutionPolicy()
@@ -75,7 +100,15 @@ def main(argv=None) -> int:
         run_timeout=args.run_timeout,
         keep_going=args.keep_going,
     )
-    runner = CachedRunner(jobs=jobs, policy=policy)
+    checkpoint = default_checkpoint_policy(
+        DEFAULT_CACHE,
+        interval=parse_checkpoint_interval(
+            args.checkpoint_interval, default_checkpoint_interval()
+        ),
+        resume=not args.no_resume,
+        root=args.checkpoint_dir,
+    )
+    runner = CachedRunner(jobs=jobs, policy=policy, checkpoint=checkpoint)
     t0 = time.time()
 
     failed_steps = []

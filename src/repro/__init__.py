@@ -23,7 +23,9 @@ Quickstart::
     print(study.predictions["scale-model"][128], study.actuals[128])
 """
 
+from repro.checkpoint import Checkpointer, CheckpointPolicy
 from repro.exceptions import (
+    CheckpointError,
     ConfigurationError,
     PredictionError,
     ReproError,
@@ -48,6 +50,7 @@ from repro.core import (
     predict_strong_scaling,
     predict_weak_scaling,
 )
+from repro.validate import validate_config, validate_trace
 from repro.workloads import (
     STRONG_SCALING,
     WEAK_SCALING,
@@ -68,6 +71,12 @@ __all__ = [
     "TraceError",
     "PredictionError",
     "WorkloadError",
+    "CheckpointError",
+    # checkpointing & validation
+    "CheckpointPolicy",
+    "Checkpointer",
+    "validate_config",
+    "validate_trace",
     # gpu
     "GPUConfig",
     "McmConfig",

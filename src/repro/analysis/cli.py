@@ -22,6 +22,13 @@ the batch.  ``--max-retries`` bounds re-execution of failed runs,
 the remaining experiments when one fails, exiting with a failure summary
 (and exit code 1) instead of a traceback.  Failed runs are recorded in
 ``results/failures/<benchmark>.jsonl`` with enough context to re-run.
+
+Long simulations checkpoint at kernel boundaries under
+``results/checkpoints/`` and a retried run resumes from its latest valid
+snapshot instead of starting cold.  ``--checkpoint-interval N`` (or
+``REPRO_CHECKPOINT_INTERVAL``) snapshots every N kernel boundaries
+(``0`` disables), ``--checkpoint-dir`` relocates the snapshots and
+``--no-resume`` keeps writing them but always starts runs cold.
 """
 
 from __future__ import annotations
@@ -31,7 +38,13 @@ import sys
 
 from repro.analysis import experiments as exp
 from repro.analysis.faults import ExecutionPolicy
-from repro.analysis.runner import CachedRunner, DEFAULT_CACHE, default_jobs
+from repro.analysis.runner import (
+    CachedRunner,
+    DEFAULT_CACHE,
+    default_checkpoint_policy,
+    default_jobs,
+)
+from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.exceptions import ReproError
 
 EXPERIMENTS = (
@@ -66,7 +79,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-going", action="store_true",
                         help="finish the remaining experiments when one "
                              "fails; exit 1 with a failure summary")
+    # Parsed tolerantly (warn + default on garbage), so no type=int here.
+    parser.add_argument("--checkpoint-interval", default=None,
+                        help="kernel boundaries between mid-run snapshots "
+                             "(0 disables; default: "
+                             "REPRO_CHECKPOINT_INTERVAL or 1)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="snapshot directory "
+                             "(default: <cache parent>/checkpoints)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="keep writing checkpoints but always start "
+                             "runs cold")
     return parser
+
+
+def build_checkpoint(args):
+    """Map the CLI's checkpoint flags onto a CheckpointPolicy (or None)."""
+    return default_checkpoint_policy(
+        None if args.no_cache else args.cache,
+        interval=parse_checkpoint_interval(
+            args.checkpoint_interval, default_checkpoint_interval()
+        ),
+        resume=not args.no_resume,
+        root=args.checkpoint_dir,
+    )
 
 
 def build_policy(args) -> ExecutionPolicy:
@@ -133,6 +169,7 @@ def main(argv=None) -> int:
         None if args.no_cache else args.cache,
         jobs=jobs,
         policy=build_policy(args),
+        checkpoint=build_checkpoint(args),
     )
     names = (
         ["table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6",

@@ -22,9 +22,18 @@ that contract:
 
 Fault-injection grammar (comma-separated directives)::
 
-    fail:<prefix>[:<n>]   raise on attempts 1..n (always, if n omitted)
-    hang:<prefix>[:<s>]   sleep s seconds (default 3600) — trips timeouts
-    die:<prefix>          kill the worker process (BrokenProcessPool)
+    fail:<prefix>[:<n>]        raise on attempts 1..n (always, if n omitted)
+    hang:<prefix>[:<s>]        sleep s seconds (default 3600) — trips timeouts
+    die:<prefix>               kill the worker process (BrokenProcessPool)
+    die-at-kernel:<prefix>:<k> kill the worker right after the checkpoint
+                               at kernel boundary ``k`` becomes durable —
+                               the crash window checkpoint/resume covers
+
+``die-at-kernel`` is armed through :func:`kernel_kill_hook` (wired into
+the checkpointer's post-save callback) rather than :func:`maybe_inject`:
+the kill must land *after* a snapshot is durable, mid-run.  A resumed
+attempt restarts past boundary ``k``, so the directive fires at most
+once per run directory — exactly one crash, then recovery.
 
 A directive matches a run when ``<prefix>`` is a prefix of either the
 cache key (``sim|<digest>|<digest>``) or the human-readable pseudo-id
@@ -40,7 +49,7 @@ import re
 import time
 import warnings
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import ReproError
 
@@ -56,6 +65,7 @@ __all__ = [
     "TIMEOUT",
     "parse_fault_plan",
     "maybe_inject",
+    "kernel_kill_hook",
 ]
 
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
@@ -118,6 +128,10 @@ class RunOutcome:
     work_scale: float = 1.0
     seed: int = 0
     method: str = "stack"
+    #: Kernel boundary a checkpoint resume restarted from (None = cold).
+    resumed_from_kernel: Optional[int] = None
+    #: Simulated cycles the resume skipped re-executing.
+    cycles_saved: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -126,6 +140,10 @@ class RunOutcome:
     @property
     def retried(self) -> bool:
         return self.attempts > 1
+
+    @property
+    def resumed(self) -> bool:
+        return self.resumed_from_kernel is not None
 
 
 @dataclass(frozen=True)
@@ -149,6 +167,14 @@ class BatchReport:
     def retries(self) -> int:
         return sum(o.attempts - 1 for o in self.outcomes)
 
+    @property
+    def checkpoints_resumed(self) -> int:
+        return sum(1 for o in self.outcomes if o.resumed)
+
+    @property
+    def cycles_saved(self) -> float:
+        return sum(o.cycles_saved for o in self.outcomes if o.resumed)
+
     def counts(self) -> Dict[str, int]:
         return {
             "ok": self.executed,
@@ -156,6 +182,7 @@ class BatchReport:
             "timeout": sum(1 for o in self.outcomes if o.status == TIMEOUT),
             "retries": self.retries,
             "pool_deaths": self.pool_deaths,
+            "resumed": self.checkpoints_resumed,
         }
 
     def summary(self) -> str:
@@ -164,6 +191,11 @@ class BatchReport:
             "execution: {ok} ok, {failed} failed, {timeout} timed out, "
             "{retries} retries, {pool_deaths} pool deaths".format(**counts)
         )
+        if self.checkpoints_resumed:
+            text += (
+                f", {self.checkpoints_resumed} resumed from checkpoints "
+                f"({self.cycles_saved:.0f} cycles saved)"
+            )
         if self.degraded_to_serial:
             text += " (degraded to serial)"
         return text
@@ -248,12 +280,17 @@ def parse_fault_plan(plan: str) -> Tuple[_FaultDirective, ...]:
                 f"fault injection: malformed directive {part!r} "
                 "(expected action:prefix[:arg])"
             )
-        if action not in ("fail", "hang", "die"):
+        if action not in ("fail", "hang", "die", "die-at-kernel"):
             raise ReproError(
                 f"fault injection: unknown action {action!r} in {part!r}"
             )
         if not prefix:
             raise ReproError(f"fault injection: empty prefix in {part!r}")
+        if action == "die-at-kernel" and arg is None:
+            raise ReproError(
+                f"fault injection: {part!r} needs a kernel boundary "
+                "(die-at-kernel:<prefix>:<k>)"
+            )
         directives.append(_FaultDirective(action, prefix, arg))
     return tuple(directives)
 
@@ -280,6 +317,9 @@ def maybe_inject(
     for directive in parse_fault_plan(plan):
         if not any(t.startswith(directive.prefix) for t in targets):
             continue
+        if directive.action == "die-at-kernel":
+            # Armed mid-run via kernel_kill_hook, not per attempt.
+            continue
         if directive.action == "fail":
             bound = directive.arg if directive.arg is not None else float("inf")
             if attempt <= bound:
@@ -301,3 +341,44 @@ def maybe_inject(
             raise InjectedFaultError(
                 f"injected worker death for {key} (serial mode: raising)"
             )
+
+
+def kernel_kill_hook(
+    key: str,
+    kind: str,
+    shard: str,
+    allow_exit: bool = True,
+) -> Optional[Callable[[int], None]]:
+    """Post-checkpoint kill callback for ``die-at-kernel`` directives.
+
+    Returns ``None`` unless the ``REPRO_FAULT_INJECT`` plan holds a
+    matching ``die-at-kernel`` directive; otherwise a callable suitable
+    as :class:`repro.checkpoint.Checkpointer`'s ``on_checkpoint`` hook.
+    The hook kills the process (or raises, serial mode) when the
+    just-saved boundary is in the directive's kill set — *after* the
+    snapshot became durable, so the retry exercises real resume.
+    """
+    plan = os.environ.get(FAULT_INJECT_ENV)
+    if not plan:
+        return None
+    targets = (key, f"{kind}|{shard}")
+    boundaries = {
+        int(directive.arg)
+        for directive in parse_fault_plan(plan)
+        if directive.action == "die-at-kernel"
+        and any(t.startswith(directive.prefix) for t in targets)
+    }
+    if not boundaries:
+        return None
+
+    def hook(kernels_completed: int) -> None:
+        if kernels_completed not in boundaries:
+            return
+        if allow_exit:
+            os._exit(3)
+        raise InjectedFaultError(
+            f"injected post-checkpoint death for {key} at kernel "
+            f"boundary {kernels_completed} (serial mode: raising)"
+        )
+
+    return hook

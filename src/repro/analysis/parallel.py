@@ -50,9 +50,11 @@ from repro.analysis.faults import (
     ExecutionPolicy,
     FailureManifest,
     RunOutcome,
+    kernel_kill_hook,
     maybe_inject,
 )
 from repro.analysis.simcache import ResultStore
+from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
 from repro.exceptions import ExecutionError, ReproError
 from repro.workloads.spec import BenchmarkSpec
 
@@ -89,7 +91,9 @@ class RunRequest:
         return _runner.mrc_key(self.spec, self.work_scale, self.method, self.seed)
 
 
-def execute_request(request: RunRequest) -> Tuple[str, str, dict]:
+def execute_request(
+    request: RunRequest, checkpointer=None
+) -> Tuple[str, str, dict]:
     """Run one request to completion; returns ``(key, shard, payload)``.
 
     Module-level and pure so it pickles into pool workers; also the
@@ -97,12 +101,14 @@ def execute_request(request: RunRequest) -> Tuple[str, str, dict]:
     """
     if request.kind == "sim":
         result = _runner.compute_sim(
-            request.spec, request.size, request.work_scale, request.seed
+            request.spec, request.size, request.work_scale, request.seed,
+            checkpointer=checkpointer,
         )
         payload = asdict(result)
     elif request.kind == "mcm":
         result = _runner.compute_mcm(
-            request.spec, request.size, request.work_scale, request.seed
+            request.spec, request.size, request.work_scale, request.seed,
+            checkpointer=checkpointer,
         )
         payload = asdict(result)
     else:
@@ -113,20 +119,51 @@ def execute_request(request: RunRequest) -> Tuple[str, str, dict]:
     return request.key, request.spec.abbr, payload
 
 
+def _checkpointer_for(request: RunRequest, checkpoint, allow_exit: bool):
+    """Per-attempt checkpointer from a :class:`CheckpointPolicy`, or None.
+
+    MRC collections have no kernel boundaries to snapshot; the
+    ``die-at-kernel`` fault hook is armed here so an injected crash only
+    fires after a snapshot is durable.
+    """
+    if checkpoint is None or request.kind == "mrc":
+        return None
+    return checkpoint.checkpointer_for(
+        request.key,
+        on_checkpoint=kernel_kill_hook(
+            request.key, request.kind, request.spec.abbr,
+            allow_exit=allow_exit,
+        ),
+    )
+
+
 def execute_attempt(
-    request: RunRequest, attempt: int = 1, allow_exit: bool = True
-) -> Tuple[str, str, dict]:
+    request: RunRequest,
+    attempt: int = 1,
+    allow_exit: bool = True,
+    checkpoint: Optional[CheckpointPolicy] = None,
+) -> Tuple[str, str, dict, dict]:
     """One guarded attempt: fault injection first, then the real run.
 
     The attempt number travels with the call so ``fail:<prefix>:<n>``
     directives behave deterministically even though worker processes
-    share no state.
+    share no state.  Returns ``(key, shard, payload, meta)``; ``meta``
+    carries checkpoint-resume telemetry when the attempt restarted from
+    a snapshot a dead predecessor left behind.
     """
     maybe_inject(
         request.key, request.kind, request.spec.abbr, attempt,
         allow_exit=allow_exit,
     )
-    return execute_request(request)
+    checkpointer = _checkpointer_for(request, checkpoint, allow_exit)
+    key, shard, payload = execute_request(request, checkpointer=checkpointer)
+    meta = {}
+    if checkpointer is not None and checkpointer.resumed_from is not None:
+        meta = {
+            "resumed_from_kernel": checkpointer.resumed_from,
+            "cycles_saved": checkpointer.cycles_saved,
+        }
+    return key, shard, payload, meta
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -157,8 +194,13 @@ class _BatchState:
 
 
 def _outcome(
-    request: RunRequest, status: str, attempts: int, error: Optional[str] = None
+    request: RunRequest,
+    status: str,
+    attempts: int,
+    error: Optional[str] = None,
+    meta: Optional[dict] = None,
 ) -> RunOutcome:
+    meta = meta or {}
     return RunOutcome(
         key=request.key,
         kind=request.kind,
@@ -170,6 +212,8 @@ def _outcome(
         work_scale=request.work_scale,
         seed=request.seed,
         method=request.method,
+        resumed_from_kernel=meta.get("resumed_from_kernel"),
+        cycles_saved=float(meta.get("cycles_saved", 0.0)),
     )
 
 
@@ -180,6 +224,11 @@ class ParallelRunner:
     :class:`repro.analysis.faults.ExecutionPolicy`); the failure manifest
     is written under ``<store parent>/failures/`` unless ``manifest_root``
     overrides it (``None`` with a memory-only store disables it).
+    ``checkpoint`` governs intra-run snapshots: by default (with a
+    persistent store) runs checkpoint under ``<store parent>/checkpoints/``
+    and a retried run resumes from its latest valid snapshot; pass an
+    explicit :class:`repro.checkpoint.CheckpointPolicy` to relocate or
+    disable it.  Memory-only stores never checkpoint.
     """
 
     def __init__(
@@ -188,6 +237,7 @@ class ParallelRunner:
         jobs: int = 0,
         policy: Optional[ExecutionPolicy] = None,
         manifest_root: Optional[str] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.store = store
         self.jobs = jobs if jobs >= 1 else _runner.default_jobs()
@@ -197,6 +247,14 @@ class ParallelRunner:
                 os.path.dirname(store.root), "failures"
             )
         self.manifest = FailureManifest(manifest_root)
+        if checkpoint is None and store.root:
+            checkpoint = CheckpointPolicy(
+                root=os.path.join(
+                    os.path.dirname(store.root) or ".", "checkpoints"
+                ),
+                interval=default_checkpoint_interval(),
+            )
+        self.checkpoint = checkpoint
         self.last_report = BatchReport()
 
     def run_batch(self, requests: Iterable[RunRequest]) -> int:
@@ -248,6 +306,9 @@ class ParallelRunner:
             degraded_to_serial=state.degraded,
         )
         self.last_report = report
+        for outcome in report.outcomes:
+            if outcome.resumed:
+                self.store.record_resume(outcome.cycles_saved)
         failures = report.failures
         if failures:
             self.manifest.append(failures)
@@ -280,8 +341,9 @@ class ParallelRunner:
         for request, attempt in items:
             while True:
                 try:
-                    key, shard, payload = execute_attempt(
-                        request, attempt, allow_exit=False
+                    key, shard, payload, meta = execute_attempt(
+                        request, attempt, allow_exit=False,
+                        checkpoint=self.checkpoint,
                     )
                 except Exception:
                     if attempt <= policy.max_retries:
@@ -293,7 +355,9 @@ class ParallelRunner:
                     )
                     break
                 executed.append((key, shard, payload))
-                outcomes[request.key] = _outcome(request, OK, attempt)
+                outcomes[request.key] = _outcome(
+                    request, OK, attempt, meta=meta
+                )
                 break
 
     def _run_pool(
@@ -329,7 +393,10 @@ class ParallelRunner:
                         else float("inf")
                     )
                     try:
-                        future = pool.submit(execute_attempt, request, attempt)
+                        future = pool.submit(
+                            execute_attempt, request, attempt, True,
+                            self.checkpoint,
+                        )
                     except (BrokenProcessPool, RuntimeError):
                         queue.appendleft((request, attempt))
                         broken = True
@@ -358,7 +425,7 @@ class ParallelRunner:
                     for future in done:
                         request, attempt, _ = inflight.pop(future)
                         try:
-                            key, shard, payload = future.result()
+                            key, shard, payload, meta = future.result()
                         except BrokenProcessPool:
                             # The casualty is unknown (any worker may have
                             # died); resubmit at the same attempt number.
@@ -384,7 +451,7 @@ class ParallelRunner:
                         else:
                             executed.append((key, shard, payload))
                             outcomes[request.key] = _outcome(
-                                request, OK, attempt
+                                request, OK, attempt, meta=meta
                             )
                 if broken:
                     for future, (request, attempt, _) in inflight.items():

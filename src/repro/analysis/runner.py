@@ -36,8 +36,14 @@ import warnings
 from dataclasses import MISSING, asdict, fields
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.analysis.faults import BatchReport, ExecutionPolicy, maybe_inject
+from repro.analysis.faults import (
+    BatchReport,
+    ExecutionPolicy,
+    kernel_kill_hook,
+    maybe_inject,
+)
 from repro.analysis.simcache import ResultStore
+from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
 from repro.exceptions import ReproError
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
@@ -123,7 +129,11 @@ def mrc_key(spec: BenchmarkSpec, work_scale: float, method: str, seed: int) -> s
 # --- pure compute functions (shared by the lazy path and pool workers) ---------
 
 def compute_sim(
-    spec: BenchmarkSpec, num_sms: int, work_scale: float, seed: int
+    spec: BenchmarkSpec,
+    num_sms: int,
+    work_scale: float,
+    seed: int,
+    checkpointer=None,
 ) -> SimulationResult:
     config = GPUConfig.paper_baseline().scaled(num_sms)
     trace = build_trace(
@@ -132,11 +142,15 @@ def compute_sim(
         capacity_scale=config.capacity_scale,
         seed=seed,
     )
-    return simulate(config, trace)
+    return simulate(config, trace, checkpointer=checkpointer)
 
 
 def compute_mcm(
-    spec: BenchmarkSpec, num_chiplets: int, work_scale: float, seed: int
+    spec: BenchmarkSpec,
+    num_chiplets: int,
+    work_scale: float,
+    seed: int,
+    checkpointer=None,
 ) -> SimulationResult:
     config = McmConfig.paper_target().scaled(num_chiplets)
     trace = build_trace(
@@ -145,7 +159,7 @@ def compute_mcm(
         capacity_scale=config.chiplet.capacity_scale,
         seed=seed,
     )
-    return simulate_mcm(config, trace)
+    return simulate_mcm(config, trace, checkpointer=checkpointer)
 
 
 def compute_mrc(
@@ -225,6 +239,35 @@ def safe_curve_from_payload(payload: object) -> Optional[MissRateCurve]:
         return None
 
 
+def default_checkpoint_policy(
+    cache_path: Optional[str],
+    interval: Optional[int] = None,
+    resume: bool = True,
+    root: Optional[str] = None,
+) -> Optional[CheckpointPolicy]:
+    """The checkpoint policy matching a cache location.
+
+    Checkpoints live beside the result store and the failure manifest
+    (``<cache parent>/checkpoints/``) unless ``root`` overrides the
+    location.  A memory-only cache (``cache_path=None``) without an
+    explicit ``root`` disables checkpointing — there is no durable
+    result for the snapshots to protect.  ``interval=None`` defers to
+    ``REPRO_CHECKPOINT_INTERVAL`` (default: every kernel boundary).
+    """
+    if root is None:
+        store_root, _ = _resolve_cache_path(cache_path)
+        if not store_root:
+            return None
+        root = os.path.join(os.path.dirname(store_root) or ".", "checkpoints")
+    return CheckpointPolicy(
+        root=root,
+        interval=(
+            interval if interval is not None else default_checkpoint_interval()
+        ),
+        resume=resume,
+    )
+
+
 def _resolve_cache_path(
     cache_path: Optional[str],
 ) -> Tuple[Optional[str], Optional[str]]:
@@ -255,12 +298,16 @@ class CachedRunner:
         cache_path: Optional[str] = DEFAULT_CACHE,
         jobs: Optional[int] = None,
         policy: Optional[ExecutionPolicy] = None,
+        checkpoint: Optional[CheckpointPolicy] = None,
     ) -> None:
         self.cache_path = cache_path
         root, legacy = _resolve_cache_path(cache_path)
         self.store = ResultStore(root, legacy_path=legacy)
         self.jobs = jobs if jobs is not None else 1
         self.policy = policy
+        if checkpoint is None:
+            checkpoint = default_checkpoint_policy(cache_path)
+        self.checkpoint = checkpoint
         self.hits = 0
         self.misses = 0
         self.last_report: Optional[BatchReport] = None
@@ -287,7 +334,10 @@ class CachedRunner:
             return 0
         from repro.analysis.parallel import ParallelRunner
 
-        runner = ParallelRunner(self.store, jobs=self.jobs, policy=self.policy)
+        runner = ParallelRunner(
+            self.store, jobs=self.jobs, policy=self.policy,
+            checkpoint=self.checkpoint,
+        )
         try:
             return runner.run_batch(requests)
         finally:
@@ -303,6 +353,20 @@ class CachedRunner:
         self._exec["exec_timeout"] += counts["timeout"]
         self._exec["exec_retries"] += counts["retries"]
         self._exec["exec_pool_deaths"] += counts["pool_deaths"]
+
+    def _checkpointer_for(self, key: str, kind: str, shard: str):
+        """Per-run checkpointer for the lazy in-process path, or None.
+
+        ``allow_exit=False``: an injected ``die-at-kernel`` crash raises
+        instead of killing the host process, mirroring serial execution
+        everywhere else.
+        """
+        if self.checkpoint is None:
+            return None
+        return self.checkpoint.checkpointer_for(
+            key,
+            on_checkpoint=kernel_kill_hook(key, kind, shard, allow_exit=False),
+        )
 
     # --- timing runs ------------------------------------------------------------
     def simulate(
@@ -325,7 +389,10 @@ class CachedRunner:
         # hook arms here too so REPRO_FAULT_INJECT exercises the CLIs'
         # keep-going handling end to end, not just the pool workers.
         maybe_inject(key, "sim", spec.abbr, attempt=1, allow_exit=False)
-        result = compute_sim(spec, num_sms, work_scale, seed)
+        ckpt = self._checkpointer_for(key, "sim", spec.abbr)
+        result = compute_sim(spec, num_sms, work_scale, seed, checkpointer=ckpt)
+        if ckpt is not None and ckpt.resumed_from is not None:
+            self.store.record_resume(ckpt.cycles_saved)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
 
@@ -346,7 +413,12 @@ class CachedRunner:
             self.store.record_schema_mismatch(key)
         self.misses += 1
         maybe_inject(key, "mcm", spec.abbr, attempt=1, allow_exit=False)
-        result = compute_mcm(spec, num_chiplets, work_scale, seed)
+        ckpt = self._checkpointer_for(key, "mcm", spec.abbr)
+        result = compute_mcm(
+            spec, num_chiplets, work_scale, seed, checkpointer=ckpt
+        )
+        if ckpt is not None and ckpt.resumed_from is not None:
+            self.store.record_resume(ckpt.cycles_saved)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
 
@@ -390,6 +462,13 @@ class CachedRunner:
             "{exec_timeout} timed out, {exec_retries} retries, "
             "{exec_pool_deaths} pool deaths".format(**self._exec)
         )
+        store = self.store.stats()
+        resumed = store.get("checkpoints_resumed", 0)
+        if resumed:
+            text += (
+                f", {resumed} resumed from checkpoints "
+                f"({store.get('cycles_saved', 0.0):.0f} cycles saved)"
+            )
         if self.last_report is not None and self.last_report.degraded_to_serial:
             text += " (degraded to serial)"
         return text

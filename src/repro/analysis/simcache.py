@@ -84,6 +84,8 @@ class ResultStore:
             "quarantined_shards": 0,
             "legacy_imported": 0,
             "legacy_corrupt": 0,
+            "checkpoints_resumed": 0,
+            "cycles_saved": 0.0,
         }
         if self.root:
             self._load_shards()
@@ -168,9 +170,15 @@ class ResultStore:
                 os.remove(os.path.join(self.root, fname))
 
     # --- telemetry -------------------------------------------------------------
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, float]:
         """A snapshot of the store's counters (see module docstring)."""
         return dict(self._stats)
+
+    def record_resume(self, cycles_saved: float = 0.0) -> None:
+        """Count one run resumed from a checkpoint instead of cold-started;
+        ``cycles_saved`` is the simulated progress the resume skipped."""
+        self._stats["checkpoints_resumed"] += 1
+        self._stats["cycles_saved"] += float(cycles_saved)
 
     def record_schema_mismatch(self, key: str = "") -> None:
         """Count a cached payload whose schema drifted from the current

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.exceptions import PredictionError
 from repro.mrc.cliff import CliffAnalysis, Region, analyze_regions
 from repro.core.profile import ScaleModelProfile
+from repro.validate import degenerate_curve_reason
 
 
 @dataclass(frozen=True)
@@ -47,10 +49,19 @@ class ScaleModelPredictor:
         capacity_per_unit: Optional[float] = None,
     ) -> None:
         self.profile = profile
+        curve = profile.curve
+        if curve is not None:
+            reason = degenerate_curve_reason(curve)
+            if reason is not None:
+                warnings.warn(
+                    f"{profile.workload}: {reason}; degrading to "
+                    "proportional scaling (Eq. 2)"
+                )
+                curve = None
         self.analysis: Optional[CliffAnalysis] = (
-            analyze_regions(profile.curve) if profile.curve is not None else None
+            analyze_regions(curve) if curve is not None else None
         )
-        if profile.curve is not None and capacity_per_unit is None:
+        if curve is not None and capacity_per_unit is None:
             # Infer bytes-of-LLC per SM from the curve: under proportional
             # scaling the smallest sampled capacity belongs to the smallest
             # scale model.

@@ -15,7 +15,12 @@ runners (see :mod:`repro.analysis.runner`) or fakes in tests:
 Passing ``runner=`` (a :class:`repro.analysis.runner.CachedRunner`)
 instead derives both callables from the cache, enumerates the study's
 runs up front and submits them as one batch, so misses execute across
-the runner's worker pool.
+the runner's worker pool.  A runner-backed workflow also inherits the
+runner's fault tolerance and checkpoint/resume behaviour: long timing
+runs snapshot at kernel boundaries and a retried run resumes from its
+latest valid snapshot (see :mod:`repro.checkpoint`), so a crashed
+workflow invocation re-run with the same cache loses at most one
+kernel's worth of simulation per in-flight run.
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ thin handle wrapping the entry, kept for cancellation and introspection.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, List, Optional
 
 _TIME = 0
 _SEQ = 1
@@ -59,6 +59,15 @@ class EventQueue:
     def __len__(self) -> int:
         return len(self._heap)
 
+    @property
+    def seq(self) -> int:
+        """Next sequence number to be assigned (checkpointable state)."""
+        return self._seq
+
+    @seq.setter
+    def seq(self, value: int) -> None:
+        self._seq = int(value)
+
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``; return a handle."""
         entry = [time, self._seq, callback, args]
@@ -66,20 +75,21 @@ class EventQueue:
         heapq.heappush(self._heap, entry)
         return Event(entry)
 
-    def pop_entry(self) -> Optional[Tuple[float, int, Callable[..., None], tuple]]:
-        """Remove and return ``(time, seq, callback, args)`` of the earliest
-        live event, or ``None`` when the queue is empty.
+    def pop_entry(self) -> Optional[list]:
+        """Remove and return the earliest live entry
+        ``[time, seq, callback, args]``, or ``None`` when the queue is empty.
 
-        ``seq`` is returned so a caller that re-inserts the entry (e.g. a
-        horizon pause) can hand it back to :meth:`push_entry` and keep the
-        entry's FIFO position among same-time events.
+        The *live* entry list is returned (it unpacks exactly like the old
+        ``(time, seq, callback, args)`` tuple) so a caller that re-inserts
+        it (e.g. a horizon pause) can hand the same list back to
+        :meth:`push_entry`; any :class:`Event` handle wrapping the entry
+        then stays valid across the re-insert — ``cancel()`` keeps working.
         """
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
-            callback = entry[_CALLBACK]
-            if callback is not None:
-                return entry[_TIME], entry[_SEQ], callback, entry[_ARGS]
+            if entry[_CALLBACK] is not None:
+                return entry
         return None
 
     def pop(self) -> Optional[Event]:
@@ -97,6 +107,7 @@ class EventQueue:
         callback: Callable[..., None],
         args: tuple,
         seq: Optional[int] = None,
+        entry: Optional[list] = None,
     ) -> None:
         """Re-insert a popped entry (used when a run stops at a horizon).
 
@@ -104,12 +115,20 @@ class EventQueue:
         a fresh seq would sort the entry *behind* same-time events pushed
         since it was popped, leaking scheduling nondeterminism across
         horizon pauses.
+
+        Pass the popped ``entry`` list itself (as returned by
+        :meth:`pop_entry`) to re-insert it in place.  Building a fresh
+        list would orphan any :class:`Event` handle still wrapping the
+        old one — ``cancel()`` on such a handle would silently mutate a
+        discarded list and the event would fire anyway.
         """
+        if entry is not None:
+            heapq.heappush(self._heap, entry)
+            return
         if seq is None:
             seq = self._seq
             self._seq += 1
-        entry = [time, seq, callback, args]
-        heapq.heappush(self._heap, entry)
+        heapq.heappush(self._heap, [time, seq, callback, args])
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""

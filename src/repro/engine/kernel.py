@@ -73,14 +73,18 @@ class SimulationKernel:
                     break
                 time, seq, callback, args = popped
                 if until is not None and time > until:
-                    # Re-insert with the original seq so the paused event
-                    # keeps its FIFO slot among same-time events.
-                    queue.push_entry(time, callback, args, seq=seq)
+                    # Re-insert the *same* entry list: its seq keeps the
+                    # FIFO slot among same-time events, and Event handles
+                    # wrapping it stay live (cancellable) across the pause.
+                    queue.push_entry(time, callback, args, seq=seq, entry=popped)
                     self._now = until
                     break
                 self._now = time
-                callback(*args)
+                # Count before firing: checkpoints are taken *inside* a
+                # callback (kernel boundaries), and the snapshot must
+                # include the event that carried the simulation there.
                 self._events_processed += 1
+                callback(*args)
                 fired += 1
         finally:
             self._running = False
@@ -94,3 +98,33 @@ class SimulationKernel:
         self._queue.clear()
         self._now = 0.0
         self._events_processed = 0
+
+    # --- checkpointing ----------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Clock state for a checkpoint taken with an *empty* event queue.
+
+        Callbacks cannot be serialized, so snapshots are only defined at
+        points where no events are pending (kernel boundaries in the GPU
+        model); the queue's seq counter is captured so event ordering
+        stays deterministic across a resume.
+        """
+        if len(self._queue):
+            raise SimulationError(
+                f"cannot snapshot the clock with {len(self._queue)} "
+                "events pending"
+            )
+        return {
+            "now": self._now,
+            "events_processed": self._events_processed,
+            "queue_seq": self._queue.seq,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore clock state captured by :meth:`state_dict`."""
+        if len(self._queue):
+            raise SimulationError(
+                "cannot restore the clock over a non-empty event queue"
+            )
+        self._now = float(state["now"])
+        self._events_processed = int(state["events_processed"])
+        self._queue.seq = int(state["queue_seq"])

@@ -66,6 +66,20 @@ class FifoServer:
         self._busy_time = 0.0
         self._requests = 0
 
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the server's accounting state."""
+        return {
+            "next_free": self._next_free,
+            "busy_time": self._busy_time,
+            "requests": self._requests,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        self._next_free = float(state["next_free"])
+        self._busy_time = float(state["busy_time"])
+        self._requests = int(state["requests"])
+
 
 class BandwidthResource(FifoServer):
     """A link or channel with a fixed transfer rate in bytes per cycle.
@@ -98,6 +112,15 @@ class BandwidthResource(FifoServer):
     def reset(self) -> None:
         super().reset()
         self._bytes_moved = 0.0
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["bytes_moved"] = self._bytes_moved
+        return state
+
+    def load_state(self, state: dict) -> None:
+        super().load_state(state)
+        self._bytes_moved = float(state["bytes_moved"])
 
 
 class TokenPool:
@@ -152,3 +175,19 @@ class TokenPool:
         self._releases.clear()
         self._acquired = 0
         self._wait_time = 0.0
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot; the release heap serializes as a list."""
+        return {
+            "releases": list(self._releases),
+            "acquired": self._acquired,
+            "wait_time": self._wait_time,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`."""
+        releases = [float(t) for t in state["releases"]]
+        heapq.heapify(releases)
+        self._releases = releases
+        self._acquired = int(state["acquired"])
+        self._wait_time = float(state["wait_time"])

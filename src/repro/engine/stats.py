@@ -110,3 +110,20 @@ class StateTimeTracker:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self._time_in)
+
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of the tracker (state, since, accumulators)."""
+        return {
+            "state": self._state,
+            "since": self._since,
+            "time_in": dict(self._time_in),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        self._state = str(state["state"])
+        self._since = float(state["since"])
+        self._time_in = {
+            str(name): float(value)
+            for name, value in state["time_in"].items()
+        }

@@ -22,6 +22,7 @@ from dataclasses import replace
 from typing import Dict, List, Tuple
 
 from repro.engine.resource import BandwidthResource
+from repro.exceptions import ConfigurationError
 from repro.gpu.config import GPUConfig, McmConfig
 from repro.gpu.gpu import GPUSimulator
 from repro.gpu.memory import MemorySubsystem
@@ -141,6 +142,44 @@ class McmMemory:
     def merged(self) -> int:
         return sum(s.merged for s in self.subsystems)
 
+    # --- checkpointing ---------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot: per-chiplet subsystems, links, page table."""
+        return {
+            "subsystems": [s.state_dict() for s in self.subsystems],
+            "links_request": [l.state_dict() for l in self.links_request],
+            "links_response": [l.state_dict() for l in self.links_response],
+            "page_home": [[page, home] for page, home in self.page_home.items()],
+            "remote_accesses": self.remote_accesses,
+            "local_accesses": self.local_accesses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`."""
+        for field, components in (
+            ("subsystems", self.subsystems),
+            ("links_request", self.links_request),
+            ("links_response", self.links_response),
+        ):
+            if len(state[field]) != len(components):
+                raise ConfigurationError(
+                    f"mcm snapshot: {field} has {len(state[field])} "
+                    f"entries, expected {len(components)}"
+                )
+        for sub, sub_state in zip(self.subsystems, state["subsystems"]):
+            sub.load_state(sub_state)
+        for link, link_state in zip(self.links_request, state["links_request"]):
+            link.load_state(link_state)
+        for link, link_state in zip(
+            self.links_response, state["links_response"]
+        ):
+            link.load_state(link_state)
+        self.page_home = {
+            int(page): int(home) for page, home in state["page_home"]
+        }
+        self.remote_accesses = int(state["remote_accesses"])
+        self.local_accesses = int(state["local_accesses"])
+
     def extra_stats(self, end_time: float) -> Dict[str, float]:
         total = self.remote_accesses + self.local_accesses
         link_util = max(
@@ -169,15 +208,21 @@ class McmSimulator:
     def __init__(self, config: McmConfig) -> None:
         self.config = config
         self.memory = McmMemory(config)
-        self._core = GPUSimulator(_flat_config(config), memory=self.memory)
+        self._core = GPUSimulator(
+            _flat_config(config),
+            memory=self.memory,
+            memory_factory=lambda: McmMemory(config),
+        )
 
-    def run(self, workload: WorkloadTrace) -> SimulationResult:
-        result = self._core.run(workload)
+    def run(self, workload: WorkloadTrace, checkpointer=None) -> SimulationResult:
+        result = self._core.run(workload, checkpointer=checkpointer)
         extra = dict(result.extra)
         extra["num_chiplets"] = float(self.config.num_chiplets)
         return replace(result, extra=extra)
 
 
-def simulate_mcm(config: McmConfig, workload: WorkloadTrace) -> SimulationResult:
+def simulate_mcm(
+    config: McmConfig, workload: WorkloadTrace, checkpointer=None
+) -> SimulationResult:
     """Convenience wrapper: simulate ``workload`` on an MCM configuration."""
-    return McmSimulator(config).run(workload)
+    return McmSimulator(config).run(workload, checkpointer=checkpointer)

@@ -47,6 +47,20 @@ class DramBank:
             self.open_row = row
         return self.server.service(now, service)
 
+    def state_dict(self) -> dict:
+        return {
+            "server": self.server.state_dict(),
+            "open_row": self.open_row,
+            "row_hits": self.row_hits,
+            "row_misses": self.row_misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.server.load_state(state["server"])
+        self.open_row = int(state["open_row"])
+        self.row_hits = int(state["row_hits"])
+        self.row_misses = int(state["row_misses"])
+
 
 class BankedDram:
     """A memory controller with ``num_banks`` banks and a shared data bus.
@@ -95,6 +109,25 @@ class BankedDram:
         bank = self.banks[self.bank_of(line)]
         ready = bank.access(now, self.row_of(line))
         return self.bus.service(ready, self._bus_service)
+
+    def state_dict(self) -> dict:
+        return {
+            "bus": self.bus.state_dict(),
+            "banks": [bank.state_dict() for bank in self.banks],
+            "accesses": self.accesses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        banks = state["banks"]
+        if len(banks) != len(self.banks):
+            raise ConfigurationError(
+                f"{self.name}: snapshot has {len(banks)} banks, "
+                f"expected {len(self.banks)}"
+            )
+        self.bus.load_state(state["bus"])
+        for bank, bank_state in zip(self.banks, banks):
+            bank.load_state(bank_state)
+        self.accesses = int(state["accesses"])
 
     @property
     def row_hit_rate(self) -> float:

@@ -14,16 +14,18 @@ what keeps the pure-Python simulator usable for the paper's full sweep.
 from __future__ import annotations
 
 import time as _time
-from typing import List, Optional
+import warnings
+from typing import Callable, List, Optional
 
 from repro.engine.kernel import SimulationKernel
-from repro.exceptions import SimulationError
+from repro.exceptions import CheckpointError, ConfigurationError, SimulationError
 from repro.gpu.config import GPUConfig
 from repro.gpu.cta import CTADispatcher
 from repro.gpu.memory import MemorySubsystem
 from repro.gpu.results import SimulationResult
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.trace.kernel import WarpTrace, WorkloadTrace
+from repro.validate import validate_config, validate_trace
 
 
 class _WarpRun:
@@ -48,15 +50,25 @@ class _WarpRun:
 class GPUSimulator:
     """Runs workloads on a monolithic GPU configuration."""
 
-    def __init__(self, config: GPUConfig, memory=None) -> None:
+    def __init__(
+        self,
+        config: GPUConfig,
+        memory=None,
+        memory_factory: Optional[Callable[[], object]] = None,
+    ) -> None:
+        validate_config(config)
         self.config = config
         self.kernel_clock = SimulationKernel()
-        self.memory = memory if memory is not None else MemorySubsystem(config)
+        if memory_factory is None and memory is None:
+            memory_factory = lambda: MemorySubsystem(config)  # noqa: E731
+        self._memory_factory = memory_factory
+        self.memory = memory if memory is not None else memory_factory()
         self.sms: List[StreamingMultiprocessor] = [
             StreamingMultiprocessor(i, config) for i in range(config.num_sms)
         ]
         self.dispatcher = CTADispatcher(self.sms, policy=config.cta_scheduler)
         self._workload: Optional[WorkloadTrace] = None
+        self._checkpointer = None
         self._kernel_index = 0
         self._live_ctas = {}
         self._cta_seq = 0
@@ -64,22 +76,39 @@ class GPUSimulator:
         self._finished = False
 
     # --- public API --------------------------------------------------------
-    def run(self, workload: WorkloadTrace) -> SimulationResult:
-        """Simulate ``workload`` to completion and return the result."""
+    def run(
+        self, workload: WorkloadTrace, checkpointer=None
+    ) -> SimulationResult:
+        """Simulate ``workload`` to completion and return the result.
+
+        With a :class:`repro.checkpoint.Checkpointer`, the run snapshots
+        its state at kernel boundaries and — when a valid snapshot from
+        an earlier (killed) attempt exists — resumes from it instead of
+        starting cold.  A resumed run is cycle-identical to an
+        uninterrupted one: only ``wall_time_s`` (host time) differs.
+        """
         if self._workload is not None:
             raise SimulationError("GPUSimulator instances are single-use")
+        validate_trace(workload)
         self._workload = workload
+        self._checkpointer = checkpointer
         wall_start = _time.perf_counter()
-        self._prewarm(workload)
-        self._kernel_index = 0
-        self._launch_kernel()
+        if not (checkpointer is not None and self._try_resume(workload)):
+            self._prewarm(workload)
+            self._kernel_index = 0
+            self._launch_kernel()
         self.kernel_clock.run()
         if not self._finished:
             raise SimulationError(
                 f"{workload.name}: event queue drained before workload completed"
             )
         wall = _time.perf_counter() - wall_start
-        return self._build_result(wall)
+        result = self._build_result(wall)
+        if checkpointer is not None:
+            # The result is durable in the caller's store; the snapshots
+            # have nothing left to protect.
+            checkpointer.cleanup()
+        return result
 
     def _prewarm(self, workload: WorkloadTrace) -> None:
         """Pre-fill the LLC with the workload's steady-state hot region.
@@ -143,13 +172,137 @@ class GPUSimulator:
         # Kernel drained: move to the next one, or finish the workload.
         self._kernel_index += 1
         if self._kernel_index < len(self._workload.kernels):
-            overhead = self.config.kernel_launch_overhead
-            if overhead > 0:
-                self.kernel_clock.schedule(overhead, self._launch_kernel)
-            else:
-                self._launch_kernel()
+            # The boundary is the checkpoint cut: the event queue is
+            # empty (every warp of every CTA has retired), so the whole
+            # simulator state is plain counters and cache contents.
+            self._maybe_checkpoint()
+            self._launch_next_kernel()
         else:
             self._finished = True
+
+    def _launch_next_kernel(self) -> None:
+        """Launch the kernel at ``_kernel_index`` from a boundary.
+
+        Shared by the in-run boundary transition and checkpoint resume so
+        both schedule the launch identically (same event, same seq) —
+        the resumed event stream must replay the original exactly.
+        """
+        overhead = self.config.kernel_launch_overhead
+        if overhead > 0:
+            self.kernel_clock.schedule(overhead, self._launch_kernel)
+        else:
+            self._launch_kernel()
+
+    # --- checkpoint / resume -------------------------------------------------
+    def _maybe_checkpoint(self) -> None:
+        """Snapshot at the current kernel boundary if the policy says so."""
+        checkpointer = self._checkpointer
+        if checkpointer is None or not checkpointer.should_checkpoint(
+            self._kernel_index
+        ):
+            return
+        checkpointer.save(
+            {
+                "kernels_completed": self._kernel_index,
+                "num_kernels": len(self._workload.kernels),
+                "workload": self._workload.name,
+                "system": self.config.name,
+                "cycles": self.kernel_clock.now,
+                "state": self._state_dict(),
+            }
+        )
+
+    def _try_resume(self, workload: WorkloadTrace) -> bool:
+        """Restore the latest valid snapshot; False means cold start.
+
+        Every failure mode here — no snapshot, a snapshot for a
+        different run, a restore that blows up mid-way — degrades to a
+        cold start with at most a warning.  Crash-resume must never be
+        worse than not having checkpoints at all.
+        """
+        snapshot = self._checkpointer.load_latest()
+        if snapshot is None:
+            return False
+        if not self._snapshot_matches(snapshot, workload):
+            warnings.warn(
+                f"{workload.name}: checkpoint describes a different run "
+                "(workload/system/kernel-count mismatch); cold start"
+            )
+            return False
+        try:
+            self._restore(snapshot)
+        except Exception as error:  # noqa: BLE001 - degrade, never crash
+            warnings.warn(
+                f"{workload.name}: checkpoint restore failed ({error}); "
+                "cold start"
+            )
+            self._rebuild_fresh()
+            return False
+        self._checkpointer.mark_resumed(
+            self._kernel_index, self.kernel_clock.now
+        )
+        self._launch_next_kernel()
+        return True
+
+    def _snapshot_matches(self, snapshot: dict, workload: WorkloadTrace) -> bool:
+        try:
+            completed = int(snapshot["kernels_completed"])
+            return (
+                snapshot["workload"] == workload.name
+                and snapshot["system"] == self.config.name
+                and int(snapshot["num_kernels"]) == len(workload.kernels)
+                and 1 <= completed < len(workload.kernels)
+            )
+        except (KeyError, TypeError, ValueError):
+            return False
+
+    def _state_dict(self) -> dict:
+        """Complete simulator state at a kernel boundary (JSON-able)."""
+        return {
+            "clock": self.kernel_clock.state_dict(),
+            "sms": [sm.state_dict() for sm in self.sms],
+            "memory": self.memory.state_dict(),
+            "accesses": self._accesses,
+            "cta_seq": self._cta_seq,
+        }
+
+    def _restore(self, snapshot: dict) -> None:
+        state = snapshot["state"]
+        if len(state["sms"]) != len(self.sms):
+            raise ConfigurationError(
+                f"snapshot has {len(state['sms'])} SMs, "
+                f"expected {len(self.sms)}"
+            )
+        self.kernel_clock.load_state(state["clock"])
+        for sm, sm_state in zip(self.sms, state["sms"]):
+            sm.load_state(sm_state)
+        self.memory.load_state(state["memory"])
+        self._accesses = int(state["accesses"])
+        self._cta_seq = int(state["cta_seq"])
+        self._kernel_index = int(snapshot["kernels_completed"])
+        self._live_ctas = {}
+        self._finished = False
+
+    def _rebuild_fresh(self) -> None:
+        """Replace possibly partially-restored components with fresh ones."""
+        if self._memory_factory is None:
+            raise CheckpointError(
+                "cannot fall back to a cold start: this simulator was "
+                "built with an injected memory subsystem and no "
+                "memory_factory to rebuild it"
+            )
+        config = self.config
+        self.kernel_clock = SimulationKernel()
+        self.memory = self._memory_factory()
+        self.sms = [
+            StreamingMultiprocessor(i, config) for i in range(config.num_sms)
+        ]
+        self.dispatcher = CTADispatcher(self.sms, policy=config.cta_scheduler)
+        self._kernel_index = 0
+        self._live_ctas = {}
+        self._cta_seq = 0
+        self._accesses = 0
+        self._finished = False
 
     # --- warp execution -----------------------------------------------------
     def _advance_warp(self, run: _WarpRun) -> None:
@@ -215,6 +368,8 @@ class GPUSimulator:
         )
 
 
-def simulate(config: GPUConfig, workload: WorkloadTrace) -> SimulationResult:
+def simulate(
+    config: GPUConfig, workload: WorkloadTrace, checkpointer=None
+) -> SimulationResult:
     """Convenience wrapper: simulate ``workload`` on ``config``."""
-    return GPUSimulator(config).run(workload)
+    return GPUSimulator(config).run(workload, checkpointer=checkpointer)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.engine.resource import BandwidthResource, FifoServer, TokenPool
+from repro.exceptions import ConfigurationError
 from repro.gpu.cache import SetAssocCache
 from repro.gpu.config import GPUConfig
 from repro.gpu.dram import BankedDram
@@ -56,6 +57,24 @@ class L1Cache:
         done = [line for line, t in self.in_flight.items() if t <= now]
         for line in done:
             del self.in_flight[line]
+
+    def state_dict(self) -> dict:
+        # JSON keys are strings, so the in-flight merge table travels as
+        # (line, completion-time) pairs in insertion order.
+        return {
+            "cache": self.cache.state_dict(),
+            "mshrs": self.mshrs.state_dict(),
+            "in_flight": [[line, t] for line, t in self.in_flight.items()],
+            "merged": self.merged,
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cache.load_state(state["cache"])
+        self.mshrs.load_state(state["mshrs"])
+        self.in_flight = {
+            int(line): float(t) for line, t in state["in_flight"]
+        }
+        self.merged = int(state["merged"])
 
 
 class MemorySubsystem:
@@ -240,6 +259,65 @@ class MemorySubsystem:
             "noc_utilization": self.noc_response.utilization(end_time),
             "l1_merged": float(self.merged),
         }
+
+    # --- checkpointing ---------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-able snapshot of every stateful component and counter."""
+        return {
+            "l1s": [l1.state_dict() for l1 in self.l1s],
+            "noc_request": self.noc_request.state_dict(),
+            "noc_response": self.noc_response.state_dict(),
+            "llc_slices": [s.state_dict() for s in self.llc_slices],
+            "llc_ports": [p.state_dict() for p in self.llc_ports],
+            "mcs": [mc.state_dict() for mc in self.mcs],
+            "banked_mcs": [b.state_dict() for b in self.banked_mcs],
+            "rng_state": self._rng_state,
+            "prune_countdown": self._prune_countdown,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "llc_hits": self.llc_hits,
+            "llc_misses": self.llc_misses,
+            "merged": self.merged,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot captured by :meth:`state_dict`.
+
+        Geometry is validated *before* any component mutates, so a
+        mismatched snapshot leaves the subsystem pristine for a cold
+        start.
+        """
+        for field, components in (
+            ("l1s", self.l1s),
+            ("llc_slices", self.llc_slices),
+            ("llc_ports", self.llc_ports),
+            ("mcs", self.mcs),
+            ("banked_mcs", self.banked_mcs),
+        ):
+            if len(state[field]) != len(components):
+                raise ConfigurationError(
+                    f"memory snapshot: {field} has {len(state[field])} "
+                    f"entries, expected {len(components)}"
+                )
+        for l1, l1_state in zip(self.l1s, state["l1s"]):
+            l1.load_state(l1_state)
+        self.noc_request.load_state(state["noc_request"])
+        self.noc_response.load_state(state["noc_response"])
+        for cache, cache_state in zip(self.llc_slices, state["llc_slices"]):
+            cache.load_state(cache_state)
+        for port, port_state in zip(self.llc_ports, state["llc_ports"]):
+            port.load_state(port_state)
+        for mc, mc_state in zip(self.mcs, state["mcs"]):
+            mc.load_state(mc_state)
+        for banked, banked_state in zip(self.banked_mcs, state["banked_mcs"]):
+            banked.load_state(banked_state)
+        self._rng_state = int(state["rng_state"])
+        self._prune_countdown = int(state["prune_countdown"])
+        self.l1_hits = int(state["l1_hits"])
+        self.l1_misses = int(state["l1_misses"])
+        self.llc_hits = int(state["llc_hits"])
+        self.llc_misses = int(state["llc_misses"])
+        self.merged = int(state["merged"])
 
     def stats(self) -> Dict[str, float]:
         return {

@@ -1,0 +1,179 @@
+"""Checkpoint/resume wired through the execution layer.
+
+Covers the ``die-at-kernel`` fault-injection directive, the post-save
+kill hook, and the end-to-end recovery contract: a run killed right
+after a snapshot resumes on retry and produces a payload identical to
+an uninterrupted run, with the resume recorded in the store stats, the
+batch report and the execution-health summary.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.faults import (
+    FAULT_INJECT_ENV,
+    OK,
+    BatchReport,
+    ExecutionPolicy,
+    InjectedFaultError,
+    RunOutcome,
+    kernel_kill_hook,
+    maybe_inject,
+    parse_fault_plan,
+)
+from repro.analysis.parallel import ParallelRunner, RunRequest
+from repro.analysis.runner import CachedRunner, default_checkpoint_policy
+from repro.analysis.simcache import ResultStore
+from repro.checkpoint import CheckpointPolicy
+from repro.exceptions import ReproError
+from repro.workloads import STRONG_SCALING
+
+# Strong-scaling btree at a reduced work scale: the cheapest catalog
+# workload with more than one kernel, i.e. with a checkpoint boundary.
+SPEC = STRONG_SCALING["btree"]
+SIZE = 8
+WORK_SCALE = 0.25
+KILL_PLAN = "die-at-kernel:sim|btree:1"
+
+
+def deterministic(result) -> dict:
+    payload = dataclasses.asdict(result)
+    payload.pop("wall_time_s")
+    return payload
+
+
+class TestDirectiveParsing:
+    def test_die_at_kernel_parses(self):
+        (directive,) = parse_fault_plan("die-at-kernel:sim|va:2")
+        assert directive.action == "die-at-kernel"
+        assert directive.prefix == "sim|va"
+        assert directive.arg == 2.0
+
+    def test_die_at_kernel_requires_boundary(self):
+        with pytest.raises(ReproError, match="kernel boundary"):
+            parse_fault_plan("die-at-kernel:sim|va")
+
+    def test_maybe_inject_ignores_die_at_kernel(self, monkeypatch):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "die-at-kernel:sim|va:1")
+        # Armed via the checkpointer hook, not per attempt: no raise.
+        maybe_inject("sim|abc", "sim", "va", attempt=1, allow_exit=False)
+
+
+class TestKernelKillHook:
+    def test_none_without_plan(self, monkeypatch):
+        monkeypatch.delenv(FAULT_INJECT_ENV, raising=False)
+        assert kernel_kill_hook("sim|abc", "sim", "va") is None
+
+    def test_none_without_matching_prefix(self, monkeypatch):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "die-at-kernel:sim|va:1")
+        assert kernel_kill_hook("sim|abc", "sim", "bfs") is None
+
+    def test_serial_mode_raises_at_boundary(self, monkeypatch):
+        monkeypatch.setenv(FAULT_INJECT_ENV, "die-at-kernel:sim|va:1")
+        hook = kernel_kill_hook("sim|abc", "sim", "va", allow_exit=False)
+        hook(2)  # not the armed boundary: no-op
+        with pytest.raises(InjectedFaultError, match="boundary 1"):
+            hook(1)
+
+
+class TestReportPlumbing:
+    def outcome(self, **overrides) -> RunOutcome:
+        fields = dict(
+            key="k", kind="sim", shard="x", status=OK, attempts=2,
+            resumed_from_kernel=1, cycles_saved=1234.0,
+        )
+        fields.update(overrides)
+        return RunOutcome(**fields)
+
+    def test_resumed_outcomes_aggregate(self):
+        report = BatchReport(outcomes=(self.outcome(),))
+        assert report.checkpoints_resumed == 1
+        assert report.cycles_saved == 1234.0
+        assert report.counts()["resumed"] == 1
+        assert "1 resumed from checkpoints (1234 cycles saved)" in (
+            report.summary()
+        )
+
+    def test_cold_outcomes_stay_silent(self):
+        cold = self.outcome(resumed_from_kernel=None, cycles_saved=0.0)
+        report = BatchReport(outcomes=(cold,))
+        assert report.counts()["resumed"] == 0
+        assert "resumed" not in report.summary()
+
+    def test_store_records_resumes(self):
+        store = ResultStore(None)
+        store.record_resume(10.0)
+        store.record_resume(5.5)
+        stats = store.stats()
+        assert stats["checkpoints_resumed"] == 2
+        assert stats["cycles_saved"] == 15.5
+
+
+class TestDefaultPolicy:
+    def test_memory_only_cache_disables_checkpointing(self):
+        assert default_checkpoint_policy(None) is None
+        assert CachedRunner(None, checkpoint=None).checkpoint is None
+
+    def test_policy_lives_beside_the_cache(self, tmp_path):
+        cache = str(tmp_path / "results" / "simcache")
+        policy = default_checkpoint_policy(cache)
+        assert policy.root == str(tmp_path / "results" / "checkpoints")
+        assert policy.enabled
+
+    def test_explicit_root_overrides_memory_only(self, tmp_path):
+        policy = default_checkpoint_policy(None, root=str(tmp_path / "ck"))
+        assert policy is not None and policy.enabled
+
+
+class TestEndToEndResume:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        runner = CachedRunner(None, checkpoint=None)
+        return deterministic(runner.simulate(SPEC, SIZE, work_scale=WORK_SCALE))
+
+    def test_lazy_path_resumes_after_injected_death(
+        self, tmp_path, monkeypatch, baseline
+    ):
+        monkeypatch.setenv(FAULT_INJECT_ENV, KILL_PLAN)
+        runner = CachedRunner(
+            None,
+            checkpoint=CheckpointPolicy(root=str(tmp_path / "checkpoints")),
+        )
+        # First attempt dies right after the boundary-1 snapshot.
+        with pytest.raises(InjectedFaultError):
+            runner.simulate(SPEC, SIZE, work_scale=WORK_SCALE)
+        # The caller's retry resumes from it and completes bit-identically.
+        result = runner.simulate(SPEC, SIZE, work_scale=WORK_SCALE)
+        assert deterministic(result) == baseline
+        stats = runner.stats()
+        assert stats["checkpoints_resumed"] == 1
+        assert stats["cycles_saved"] > 0
+        assert "1 resumed from checkpoints" in runner.execution_health()
+
+    def test_serial_batch_retry_resumes(self, tmp_path, monkeypatch, baseline):
+        monkeypatch.setenv(FAULT_INJECT_ENV, KILL_PLAN)
+        store = ResultStore(None)
+        runner = ParallelRunner(
+            store,
+            jobs=1,
+            policy=ExecutionPolicy(max_retries=2, backoff_base=0.001),
+            checkpoint=CheckpointPolicy(root=str(tmp_path / "checkpoints")),
+        )
+        request = RunRequest("sim", SPEC, size=SIZE, work_scale=WORK_SCALE)
+        report = runner.run_batch_report([request])
+        (outcome,) = report.outcomes
+        assert outcome.ok
+        assert outcome.attempts == 2  # died once, resumed on the retry
+        assert outcome.resumed_from_kernel == 1
+        assert outcome.cycles_saved > 0
+        assert report.counts()["resumed"] == 1
+        assert "resumed from checkpoints" in report.summary()
+        assert store.stats()["checkpoints_resumed"] == 1
+        assert deterministic_from_store(store, request.key) == baseline
+
+
+def deterministic_from_store(store: ResultStore, key: str) -> dict:
+    payload = dict(store.get(key))
+    payload.pop("wall_time_s")
+    return payload

@@ -98,6 +98,29 @@ class TestEventHandle:
             entry[2](*entry[3])
         assert fired == ["paused", "late"]
 
+    def test_handle_stays_live_across_reinsert(self):
+        # Regression: re-inserting a popped entry used to build a *new*
+        # entry list, orphaning the Event handle — cancel() flipped the
+        # old list and the re-inserted copy fired anyway.
+        q = EventQueue()
+        fired = []
+        handle = q.push(5.0, fired.append, "dead")
+        popped = q.pop_entry()
+        q.push_entry(popped[0], popped[2], popped[3], seq=popped[1],
+                     entry=popped)
+        handle.cancel()
+        assert handle.cancelled
+        while (entry := q.pop_entry()) is not None:
+            entry[2](*entry[3])
+        assert fired == []
+
+    def test_pop_entry_returns_live_entry(self):
+        # The popped value must BE the handle's entry list, not a copy,
+        # so push_entry(entry=...) keeps the handle linked.
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        assert q.pop_entry() is handle._entry
+
     def test_push_entry_fresh_seq_without_original(self):
         q = EventQueue()
         fired = []

@@ -95,6 +95,18 @@ class TestRunControl:
         k.run()
         assert k.events_processed == 7
 
+    def test_cancel_survives_horizon_pause(self):
+        # Regression: run(until=...) pops and re-inserts the first event
+        # beyond the horizon; the handle must still cancel it afterwards.
+        k = SimulationKernel()
+        fired = []
+        handle = k.schedule(10.0, fired.append, "late")
+        k.run(until=5.0)
+        handle.cancel()
+        k.run()
+        assert fired == []
+        assert k.now == 5.0
+
     def test_reset(self):
         k = SimulationKernel()
         k.schedule_at(4.0, lambda: None)

@@ -1,0 +1,341 @@
+"""Checkpoint/resume: integrity-verified snapshots and crash recovery.
+
+The contract under test (see repro.checkpoint and docs/ARCHITECTURE.md):
+
+* snapshots are written atomically with a payload digest and schema
+  version, and anything invalid is quarantined — never trusted, never
+  fatal;
+* a run killed after a snapshot resumes from it and produces a result
+  bit-identical to an uninterrupted run (only ``wall_time_s`` differs);
+* every failure mode (corrupt file, foreign run, disabled resume)
+  degrades to a cold start with at most a warning.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.checkpoint import (
+    CHECKPOINT_INTERVAL_ENV,
+    SCHEMA_VERSION,
+    Checkpointer,
+    CheckpointPolicy,
+    default_checkpoint_interval,
+    parse_checkpoint_interval,
+    run_digest,
+)
+from repro.exceptions import CheckpointError
+from repro.gpu import GPUConfig, GPUSimulator, simulate
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+
+
+def tiny_config(**overrides) -> GPUConfig:
+    defaults = dict(
+        num_sms=2,
+        llc_slices=2,
+        num_mcs=1,
+        capacity_scale=1.0,
+        latency_jitter=0.0,
+        name="tiny",
+    )
+    defaults.update(overrides)
+    return GPUConfig(**defaults)
+
+
+def multi_kernel_workload(num_kernels=3, name="wl") -> WorkloadTrace:
+    kernels = []
+    for k in range(num_kernels):
+        def build(cta_id, k=k):
+            warps = []
+            for w in range(2):
+                base = (k * 64 + cta_id * 8 + w) * 4
+                warps.append(
+                    WarpTrace(
+                        [3] * 4,
+                        [base + i for i in range(4)],
+                        start_offset=float(w),
+                    )
+                )
+            return CTATrace(cta_id, warps)
+
+        kernels.append(KernelTrace(f"{name}-k{k}", 4, 64, build))
+    return WorkloadTrace(name, kernels)
+
+
+def result_payload(result) -> dict:
+    """Everything deterministic about a result (host time excluded)."""
+    payload = dataclasses.asdict(result)
+    payload.pop("wall_time_s")
+    return payload
+
+
+class KilledAfterCheckpoint(Exception):
+    """Stand-in for a worker death right after a snapshot became durable."""
+
+
+def killer(boundary: int):
+    def hook(kernels_completed: int) -> None:
+        if kernels_completed == boundary:
+            raise KilledAfterCheckpoint(boundary)
+
+    return hook
+
+
+class TestIntervalParsing:
+    def test_none_and_empty_return_default(self):
+        assert parse_checkpoint_interval(None, 4) == 4
+        assert parse_checkpoint_interval("", 4) == 4
+
+    def test_plain_integer(self):
+        assert parse_checkpoint_interval("3") == 3
+        assert parse_checkpoint_interval(2) == 2
+
+    def test_zero_disables_without_warning(self):
+        assert parse_checkpoint_interval("0", 5) == 0
+
+    def test_garbage_warns_and_defaults(self):
+        with pytest.warns(UserWarning, match="not an integer"):
+            assert parse_checkpoint_interval("banana", 2) == 2
+
+    def test_negative_warns_and_defaults(self):
+        with pytest.warns(UserWarning, match=">= 0"):
+            assert parse_checkpoint_interval("-3", 2) == 2
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv(CHECKPOINT_INTERVAL_ENV, "7")
+        assert default_checkpoint_interval() == 7
+        monkeypatch.setenv(CHECKPOINT_INTERVAL_ENV, "nope")
+        with pytest.warns(UserWarning, match="not an integer"):
+            assert default_checkpoint_interval() == 1
+
+
+class TestCheckpointer:
+    RUN_KEY = "sim|digest-a|digest-b"
+
+    def make(self, tmp_path, **kwargs) -> Checkpointer:
+        return Checkpointer(
+            str(tmp_path / "run"), run_key=self.RUN_KEY, **kwargs
+        )
+
+    def snapshot(self, kernels_completed: int, cycles: float = 100.0) -> dict:
+        return {
+            "kernels_completed": kernels_completed,
+            "num_kernels": 3,
+            "cycles": cycles,
+            "state": {"accesses": 42},
+        }
+
+    def test_save_load_roundtrip(self, tmp_path):
+        ck = self.make(tmp_path)
+        assert ck.save(self.snapshot(1, cycles=123.0))
+        loaded = ck.load_latest()
+        assert loaded["kernels_completed"] == 1
+        assert loaded["cycles"] == 123.0
+        assert loaded["run_key"] == self.RUN_KEY
+        assert ck.quarantined == 0
+
+    def test_interval_below_one_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            self.make(tmp_path, interval=0)
+
+    def test_should_checkpoint_respects_interval(self, tmp_path):
+        ck = self.make(tmp_path, interval=2)
+        assert not ck.should_checkpoint(1)
+        assert ck.should_checkpoint(2)
+        assert not ck.should_checkpoint(3)
+        assert ck.should_checkpoint(4)
+
+    def test_load_latest_prefers_newest(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1, cycles=10.0))
+        ck.save(self.snapshot(2, cycles=20.0))
+        assert ck.load_latest()["kernels_completed"] == 2
+
+    def test_corrupt_file_falls_back_to_older(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1, cycles=10.0))
+        ck.save(self.snapshot(2, cycles=20.0))
+        with open(ck.path_for(2), "w") as fh:
+            fh.write("{ truncated nonsense")
+        with pytest.warns(UserWarning, match="quarantined"):
+            loaded = ck.load_latest()
+        assert loaded["kernels_completed"] == 1
+        assert ck.quarantined == 1
+        quarantine = os.path.join(ck.directory, "quarantine")
+        assert os.listdir(quarantine) == ["ckpt-2.json"]
+        assert not os.path.exists(ck.path_for(2))
+
+    def test_tampered_payload_quarantined(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1))
+        with open(ck.path_for(1)) as fh:
+            record = json.load(fh)
+        record["payload"]["cycles"] = 999999.0  # digest now stale
+        with open(ck.path_for(1), "w") as fh:
+            json.dump(record, fh)
+        with pytest.warns(UserWarning, match="digest mismatch"):
+            assert ck.load_latest() is None
+        assert ck.quarantined == 1
+
+    def test_schema_drift_quarantined(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1))
+        with open(ck.path_for(1)) as fh:
+            record = json.load(fh)
+        record["schema"] = SCHEMA_VERSION + 99
+        with open(ck.path_for(1), "w") as fh:
+            json.dump(record, fh)
+        with pytest.warns(UserWarning, match="schema version"):
+            assert ck.load_latest() is None
+        assert ck.quarantined == 1
+
+    def test_foreign_run_key_quarantined(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1))
+        foreign = Checkpointer(ck.directory, run_key="mcm|other-run")
+        with pytest.warns(UserWarning, match="belongs to run"):
+            assert foreign.load_latest() is None
+        assert foreign.quarantined == 1
+
+    def test_resume_false_reads_nothing(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1))
+        cold = self.make(tmp_path, resume=False)
+        assert cold.load_latest() is None
+        assert cold.quarantined == 0
+        assert os.path.exists(ck.path_for(1))  # still there for post-mortems
+
+    def test_save_failure_degrades_to_warning(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        ck = Checkpointer(str(blocker / "run"), run_key=self.RUN_KEY)
+        with pytest.warns(UserWarning, match="cannot write"):
+            assert not ck.save(self.snapshot(1))
+        assert ck.saves == 0
+
+    def test_cleanup_removes_run_directory(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1))
+        ck.save(self.snapshot(2))
+        ck.cleanup()
+        assert not os.path.exists(ck.directory)
+
+    def test_cleanup_preserves_quarantined_evidence(self, tmp_path):
+        ck = self.make(tmp_path)
+        ck.save(self.snapshot(1))
+        with open(ck.path_for(1), "w") as fh:
+            fh.write("garbage")
+        with pytest.warns(UserWarning):
+            ck.load_latest()
+        ck.cleanup()
+        quarantine = os.path.join(ck.directory, "quarantine")
+        assert os.listdir(quarantine) == ["ckpt-1.json"]
+
+
+class TestCheckpointPolicy:
+    def test_disabled_states(self):
+        assert not CheckpointPolicy(root=None).enabled
+        assert not CheckpointPolicy(root="x", interval=0).enabled
+        assert CheckpointPolicy(root="x", interval=1).enabled
+        assert CheckpointPolicy(root=None).checkpointer_for("key") is None
+        assert (
+            CheckpointPolicy(root="x", interval=0).checkpointer_for("key")
+            is None
+        )
+
+    def test_checkpointer_for_builds_run_directory(self, tmp_path):
+        policy = CheckpointPolicy(
+            root=str(tmp_path), interval=2, resume=False
+        )
+        ck = policy.checkpointer_for("sim|abc")
+        assert ck.directory == os.path.join(str(tmp_path), run_digest("sim|abc"))
+        assert ck.interval == 2
+        assert not ck.resume
+        assert ck.run_key == "sim|abc"
+
+
+class TestSimulatorResume:
+    def kill_run(self, tmp_path, workload, boundary=1):
+        """Run until the injected post-checkpoint death; leaves snapshots."""
+        ck = Checkpointer(
+            str(tmp_path / "run"),
+            run_key="test-run",
+            on_checkpoint=killer(boundary),
+        )
+        with pytest.raises(KilledAfterCheckpoint):
+            GPUSimulator(tiny_config()).run(workload, checkpointer=ck)
+        return ck
+
+    def test_resume_is_bit_identical(self, tmp_path):
+        workload = multi_kernel_workload()
+        baseline = result_payload(simulate(tiny_config(), workload))
+        self.kill_run(tmp_path, workload, boundary=1)
+        ck = Checkpointer(str(tmp_path / "run"), run_key="test-run")
+        result = GPUSimulator(tiny_config()).run(workload, checkpointer=ck)
+        assert ck.resumed_from == 1
+        assert ck.cycles_saved > 0
+        assert result_payload(result) == baseline
+        # A finished run has nothing left to protect.
+        assert not os.path.exists(ck.directory)
+
+    def test_resume_from_latest_of_several(self, tmp_path):
+        workload = multi_kernel_workload(num_kernels=4)
+        baseline = result_payload(simulate(tiny_config(), workload))
+        self.kill_run(tmp_path, workload, boundary=2)  # saved ckpt-1, ckpt-2
+        ck = Checkpointer(str(tmp_path / "run"), run_key="test-run")
+        result = GPUSimulator(tiny_config()).run(workload, checkpointer=ck)
+        assert ck.resumed_from == 2
+        assert result_payload(result) == baseline
+
+    def test_corrupt_checkpoint_degrades_to_cold_start(self, tmp_path):
+        workload = multi_kernel_workload()
+        baseline = result_payload(simulate(tiny_config(), workload))
+        killed = self.kill_run(tmp_path, workload, boundary=1)
+        with open(killed.path_for(1), "w") as fh:
+            fh.write("not json at all")
+        ck = Checkpointer(str(tmp_path / "run"), run_key="test-run")
+        with pytest.warns(UserWarning, match="quarantined"):
+            result = GPUSimulator(tiny_config()).run(
+                workload, checkpointer=ck
+            )
+        assert ck.resumed_from is None
+        assert ck.quarantined == 1
+        assert result_payload(result) == baseline
+
+    def test_no_resume_starts_cold(self, tmp_path):
+        workload = multi_kernel_workload()
+        baseline = result_payload(simulate(tiny_config(), workload))
+        self.kill_run(tmp_path, workload, boundary=1)
+        ck = Checkpointer(
+            str(tmp_path / "run"), run_key="test-run", resume=False
+        )
+        result = GPUSimulator(tiny_config()).run(workload, checkpointer=ck)
+        assert ck.resumed_from is None
+        assert result_payload(result) == baseline
+
+    def test_snapshot_for_different_workload_is_ignored(self, tmp_path):
+        self.kill_run(tmp_path, multi_kernel_workload(name="wl-a"))
+        other = multi_kernel_workload(name="wl-b")
+        baseline = result_payload(simulate(tiny_config(), other))
+        ck = Checkpointer(str(tmp_path / "run"), run_key="test-run")
+        with pytest.warns(UserWarning, match="different run"):
+            result = GPUSimulator(tiny_config()).run(other, checkpointer=ck)
+        assert ck.resumed_from is None
+        assert result_payload(result) == baseline
+
+    def test_single_kernel_workload_never_checkpoints(self, tmp_path):
+        workload = multi_kernel_workload(num_kernels=1)
+        ck = Checkpointer(str(tmp_path / "run"), run_key="test-run")
+        simulate(tiny_config(), workload, checkpointer=ck)
+        assert ck.saves == 0
+        assert not os.path.exists(ck.directory)
+
+    def test_interval_gates_snapshots(self, tmp_path):
+        workload = multi_kernel_workload(num_kernels=4)  # boundaries 1..3
+        ck = Checkpointer(
+            str(tmp_path / "run"), run_key="test-run", interval=2
+        )
+        simulate(tiny_config(), workload, checkpointer=ck)
+        assert ck.saves == 1  # boundary 2 only

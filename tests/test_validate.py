@@ -1,0 +1,225 @@
+"""Boundary-layer validation: configs, traces and predictor inputs.
+
+Every check here guards a failure mode the core dataclasses accept
+silently: zero clocks, an LLC smaller than one line, NaN launch offsets,
+degenerate miss-rate curves.  Nonsense must fail loudly at the boundary
+(typed errors with actionable messages) — except curves, which degrade
+to proportional scaling with a warning instead of raising.
+"""
+
+import math
+from dataclasses import replace
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import ScaleModelPredictor, ScaleModelProfile
+from repro.exceptions import ConfigurationError, TraceError
+from repro.gpu.config import GPUConfig, McmConfig
+from repro.mrc import MissRateCurve
+from repro.mrc.cliff import Region
+from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
+from repro.validate import (
+    degenerate_curve_reason,
+    validate_config,
+    validate_mcm_config,
+    validate_proportional_scaling,
+    validate_trace,
+)
+
+
+class TestValidateConfig:
+    def test_valid_config_returned_unchanged(self):
+        config = GPUConfig.paper_baseline()
+        assert validate_config(config) is config
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"sm_clock_hz": 0.0}, "sm_clock_hz must be positive"),
+            ({"issue_width": 0}, "issue_width"),
+            ({"llc_size": 64}, "smaller than one cache line"),
+            ({"l1_size": 1}, "smaller than one cache"),
+            ({"l1_mshrs": 0}, "l1_mshrs"),
+            ({"noc_bisection_bps": 0.0}, "bisection bandwidth"),
+            ({"mc_bandwidth_bps": -1.0}, "per-MC bandwidth"),
+            ({"llc_slice_throughput": 0.0}, "llc_slice_throughput"),
+            ({"dram_latency": float("nan")}, "finite"),
+            ({"llc_latency": -5.0}, "finite and >= 0"),
+        ],
+    )
+    def test_implausible_configs_rejected(self, overrides, match):
+        config = replace(GPUConfig(), **overrides)
+        with pytest.raises(ConfigurationError, match=match):
+            validate_config(config)
+
+    def test_error_message_names_the_config(self):
+        config = replace(GPUConfig(), name="broken-gpu", sm_clock_hz=-1.0)
+        with pytest.raises(ConfigurationError, match="broken-gpu"):
+            validate_config(config)
+
+
+class TestValidateMcmConfig:
+    def test_valid_package_returned_unchanged(self):
+        config = McmConfig()
+        assert validate_mcm_config(config) is config
+
+    def test_nonpositive_interconnect_bandwidth_rejected(self):
+        config = replace(McmConfig(), inter_chiplet_bw_per_chiplet_bps=0.0)
+        with pytest.raises(ConfigurationError, match="inter-chiplet"):
+            validate_mcm_config(config)
+
+    def test_infinite_interconnect_latency_rejected(self):
+        config = replace(McmConfig(), inter_chiplet_latency=float("inf"))
+        with pytest.raises(ConfigurationError, match="inter_chiplet_latency"):
+            validate_mcm_config(config)
+
+    def test_chiplet_is_validated_too(self):
+        chiplet = replace(McmConfig().chiplet, sm_clock_hz=0.0)
+        config = replace(McmConfig(), chiplet=chiplet)
+        with pytest.raises(ConfigurationError, match="sm_clock_hz"):
+            validate_mcm_config(config)
+
+
+class TestProportionalScaling:
+    def test_paper_pair_is_valid(self):
+        small = GPUConfig.paper_baseline().scaled(8)
+        large = GPUConfig.paper_baseline().scaled(32)
+        assert validate_proportional_scaling(small, large) == pytest.approx(4.0)
+
+    def test_reversed_pair_rejected(self):
+        small = GPUConfig.paper_baseline().scaled(8)
+        large = GPUConfig.paper_baseline().scaled(32)
+        with pytest.raises(ConfigurationError, match="smaller than model"):
+            validate_proportional_scaling(large, small)
+
+    def test_changed_per_sm_resource_rejected(self):
+        small = GPUConfig.paper_baseline().scaled(8)
+        large = replace(
+            GPUConfig.paper_baseline().scaled(32), warps_per_sm=96
+        )
+        with pytest.raises(ConfigurationError, match="per-SM resource"):
+            validate_proportional_scaling(small, large)
+
+    def test_broken_shared_resource_ratio_rejected(self):
+        small = GPUConfig.paper_baseline().scaled(8)
+        large = replace(
+            GPUConfig.paper_baseline().scaled(32), llc_size=small.llc_size
+        )
+        with pytest.raises(ConfigurationError, match="Eq. 1"):
+            validate_proportional_scaling(small, large)
+
+
+def single_warp_workload(warp: WarpTrace) -> WorkloadTrace:
+    kernel = KernelTrace("k0", 1, 64, lambda cta_id: CTATrace(cta_id, [warp]))
+    return WorkloadTrace("wl", [kernel])
+
+
+class TestValidateTrace:
+    def test_healthy_trace_returned_unchanged(self):
+        workload = single_warp_workload(WarpTrace([3, 2], [0, 1]))
+        assert validate_trace(workload) is workload
+
+    def test_nan_start_offset_rejected(self):
+        # NaN slips past the dataclass guard (NaN < 0 is False).
+        warp = WarpTrace([3], [0], start_offset=float("nan"))
+        with pytest.raises(TraceError, match="start_offset"):
+            validate_trace(single_warp_workload(warp))
+
+    def test_negative_compute_burst_rejected(self):
+        warp = WarpTrace([-4], [0])
+        with pytest.raises(TraceError, match="compute burst"):
+            validate_trace(single_warp_workload(warp))
+
+    def test_nan_compute_burst_rejected(self):
+        warp = WarpTrace([float("nan")], [0])
+        with pytest.raises(TraceError, match="compute burst"):
+            validate_trace(single_warp_workload(warp))
+
+    def test_negative_line_address_rejected(self):
+        warp = WarpTrace([3], [-1])
+        with pytest.raises(TraceError, match="line address"):
+            validate_trace(single_warp_workload(warp))
+
+    def test_fractional_line_address_rejected(self):
+        warp = WarpTrace([3], [1.5])
+        with pytest.raises(TraceError, match="line address"):
+            validate_trace(single_warp_workload(warp))
+
+    def test_error_names_workload_and_kernel(self):
+        warp = WarpTrace([3], [float("inf")])
+        with pytest.raises(TraceError, match="wl/k0"):
+            validate_trace(single_warp_workload(warp))
+
+
+class TestDegenerateCurves:
+    def good_curve(self) -> MissRateCurve:
+        return MissRateCurve("wl", (100, 200, 400), (8.0, 4.0, 1.0))
+
+    def test_healthy_curve_has_no_reason(self):
+        assert degenerate_curve_reason(self.good_curve()) is None
+
+    def test_nan_mpki(self):
+        curve = MissRateCurve("wl", (100, 200), (float("nan"), 1.0))
+        assert "non-finite mpki" in degenerate_curve_reason(curve)
+
+    def test_infinite_miss_ratio(self):
+        curve = MissRateCurve(
+            "wl", (100, 200), (2.0, 1.0), miss_ratio=(float("inf"), 0.1)
+        )
+        assert "non-finite miss_ratio" in degenerate_curve_reason(curve)
+
+    def test_nonpositive_capacity(self):
+        curve = MissRateCurve("wl", (0, 200), (2.0, 1.0))
+        assert "not positive" in degenerate_curve_reason(curve)
+
+    def test_single_point_stub(self):
+        # MissRateCurve itself rejects these, but cached/legacy payloads
+        # may still hand the predictor arbitrary curve-shaped objects.
+        stub = SimpleNamespace(
+            capacities_bytes=(100,), mpki=(1.0,), miss_ratio=()
+        )
+        assert "point(s)" in degenerate_curve_reason(stub)
+
+    def test_unsorted_capacities_stub(self):
+        stub = SimpleNamespace(
+            capacities_bytes=(200, 100), mpki=(1.0, 2.0), miss_ratio=()
+        )
+        assert "strictly increasing" in degenerate_curve_reason(stub)
+
+
+class TestPredictorDegrades:
+    def profile(self, curve) -> ScaleModelProfile:
+        return ScaleModelProfile(
+            workload="wl",
+            sizes=(8, 16),
+            ipcs=(10.0, 20.0),
+            f_mem=0.5,
+            curve=curve,
+        )
+
+    def test_degenerate_curve_degrades_with_warning(self):
+        bad = MissRateCurve("wl", (100, 200), (float("nan"), 1.0))
+        with pytest.warns(UserWarning, match="proportional scaling"):
+            predictor = ScaleModelPredictor(self.profile(bad))
+        assert predictor.analysis is None
+        assert predictor._region_of(64) is Region.PRE_CLIFF
+
+    def test_degraded_prediction_matches_curveless(self):
+        bad = MissRateCurve("wl", (100, 200), (float("inf"), 1.0))
+        with pytest.warns(UserWarning):
+            degraded = ScaleModelPredictor(self.profile(bad))
+        curveless = ScaleModelPredictor(self.profile(None))
+        for target in (32, 64, 128):
+            assert degraded.predict(target).ipc == pytest.approx(
+                curveless.predict(target).ipc
+            )
+            assert degraded.predict(target).region is Region.PRE_CLIFF
+
+    def test_healthy_curve_does_not_warn(self):
+        curve = MissRateCurve("wl", (800, 1600, 3200), (8.0, 4.0, 1.0))
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            ScaleModelPredictor(self.profile(curve))

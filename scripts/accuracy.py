@@ -8,6 +8,8 @@ Usage: python scripts/accuracy.py [abbr ...] [--target 128] [--no-cache]
                                   [--run-timeout S] [--keep-going]
                                   [--checkpoint-interval N]
                                   [--checkpoint-dir DIR] [--no-resume]
+                                  [--trace-out T.json] [--metrics-out M.json]
+                                  [--log-format human|json]
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_inter
 from repro.core import METHOD_NAMES, ScaleModelPredictor, ScaleModelProfile
 from repro.core.baselines import make_predictor
 from repro.exceptions import ReproError
+from repro.obs import bootstrap
 from repro.workloads import STRONG_SCALING
 
 
@@ -55,7 +58,15 @@ def main(argv=None) -> int:
     parser.add_argument("--no-resume", action="store_true",
                         help="keep writing checkpoints but always start "
                              "runs cold")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace_event JSON of the run")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the metrics snapshot as JSON")
+    parser.add_argument("--log-format", choices=("human", "json"),
+                        default=None,
+                        help="stderr diagnostics format (default human)")
     args = parser.parse_args(argv)
+    obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     defaults = ExecutionPolicy()
@@ -138,6 +149,7 @@ def main(argv=None) -> int:
             continue
         print(f"{m:12s} avg={100*sum(errs)/len(errs):6.1f}%  max={100*max(errs):6.1f}%")
     print(runner.execution_health())
+    obs.finalize(extra_metrics={"runner": runner.metrics})
     if failed:
         print(f"completed with failures: {', '.join(failed)}", file=sys.stderr)
         return 1

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Summarize the observability artifacts of the last batch.
+
+Reads the files ``--trace-out`` / ``--metrics-out`` produced (or a spill
+directory a crashed run left behind) and prints:
+
+* per-stage wall time — spans grouped by category and name, with count,
+  total, mean and max duration;
+* the cache-hit breakdown — runner hits/misses, store hits/misses and
+  the hit rate;
+* the flat metrics report (counters, gauges, histogram quantiles).
+
+Usage::
+
+    python scripts/obs_report.py --trace trace.json --metrics metrics.json
+    python scripts/obs_report.py --spill trace.json.spill
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.obs.export import metrics_report, read_spill_dir, validate_trace_events
+
+
+def load_trace_events(path: Optional[str], spill: Optional[str]) -> List[dict]:
+    """Events from a trace document and/or a spill directory, merged."""
+    events: List[dict] = []
+    if path:
+        try:
+            with open(path) as fh:
+                document = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"error: cannot read trace {path}: {error}", file=sys.stderr)
+            return events
+        problems = validate_trace_events(document)
+        if problems:
+            print(
+                f"warning: {path} has {len(problems)} schema problems "
+                f"(first: {problems[0]})",
+                file=sys.stderr,
+            )
+        if isinstance(document, dict):
+            events.extend(
+                e for e in document.get("traceEvents", [])
+                if isinstance(e, dict)
+            )
+    events.extend(read_spill_dir(spill))
+    return events
+
+
+def stage_table(events: List[dict]) -> str:
+    """Per-stage wall time: complete spans grouped by (category, name)."""
+    groups: Dict[tuple, List[float]] = defaultdict(list)
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        # Indexed span names (kernel[3]:fft) collapse into one stage.
+        name = str(event.get("name", "?")).split("[")[0].split(":")[0]
+        groups[(str(event.get("cat", "misc")), name)].append(
+            float(event.get("dur", 0.0))
+        )
+    if not groups:
+        return "(no complete spans)"
+    header = (
+        f"{'category':<12s} {'stage':<18s} {'spans':>7s} "
+        f"{'total ms':>10s} {'mean ms':>10s} {'max ms':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    ordered = sorted(
+        groups.items(), key=lambda item: -sum(item[1])
+    )
+    for (cat, name), durs in ordered:
+        total = sum(durs)
+        lines.append(
+            f"{cat:<12s} {name:<18s} {len(durs):>7d} "
+            f"{total / 1e3:>10.2f} {total / len(durs) / 1e3:>10.3f} "
+            f"{max(durs) / 1e3:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def cache_breakdown(counters: Dict[str, float]) -> str:
+    """Hit/miss lines for every ``*hits``/``*misses`` counter pair."""
+    lines = []
+    for prefix in sorted(
+        name[: -len("hits")]
+        for name in counters
+        if name.endswith("hits") and not name.endswith("l1_hits")
+        and not name.endswith("llc_hits")
+    ):
+        hits = counters.get(prefix + "hits", 0)
+        misses = counters.get(prefix + "misses", 0)
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 0.0
+        label = (prefix.rstrip(".") or "cache")
+        lines.append(
+            f"{label:<24s} {int(hits):>8d} hits {int(misses):>8d} misses "
+            f"({rate:5.1f}% hit rate)"
+        )
+    return "\n".join(lines) or "(no cache counters recorded)"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", default=None,
+                        help="Chrome trace_event JSON (--trace-out output)")
+    parser.add_argument("--metrics", default=None,
+                        help="metrics snapshot JSON (--metrics-out output)")
+    parser.add_argument("--spill", default=None,
+                        help="spill directory of an unfinished run "
+                             "(<trace-out>.spill)")
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.spill):
+        parser.error("nothing to report: pass --trace, --metrics or --spill")
+
+    events = load_trace_events(args.trace, args.spill)
+    if events:
+        print("== per-stage wall time ==")
+        print(stage_table(events))
+        print()
+
+    if args.metrics:
+        try:
+            with open(args.metrics) as fh:
+                snapshot = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            print(
+                f"error: cannot read metrics {args.metrics}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        print("== cache breakdown ==")
+        print(cache_breakdown(snapshot.get("counters", {})))
+        print()
+        print("== metrics ==")
+        print(metrics_report(snapshot))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

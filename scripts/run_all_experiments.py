@@ -39,6 +39,7 @@ from repro.analysis.runner import (
 from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.analysis.tables import render_percent
 from repro.exceptions import ReproError
+from repro.obs import bootstrap
 
 OUT_DIR = os.path.join("results", "experiments")
 
@@ -88,7 +89,21 @@ def main(argv=None) -> int:
         "--no-resume", action="store_true",
         help="keep writing checkpoints but always start runs cold",
     )
+    parser.add_argument(
+        "--trace-out", default=None,
+        help="write a Chrome trace_event JSON of the whole sweep",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None,
+        help="write the metrics snapshot (counters, gauges, histogram "
+             "quantiles) as JSON",
+    )
+    parser.add_argument(
+        "--log-format", choices=("human", "json"), default=None,
+        help="stderr diagnostics format (default human)",
+    )
     args = parser.parse_args(argv)
+    obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     defaults = ExecutionPolicy()
     policy = ExecutionPolicy(
@@ -109,7 +124,9 @@ def main(argv=None) -> int:
         root=args.checkpoint_dir,
     )
     runner = CachedRunner(jobs=jobs, policy=policy, checkpoint=checkpoint)
-    t0 = time.time()
+    # Monotonic: this clock feeds the duration report below, and the
+    # wall clock can step (NTP) mid-sweep.
+    t0 = time.monotonic()
 
     failed_steps = []
 
@@ -240,10 +257,11 @@ def main(argv=None) -> int:
               file=sys.stderr)
     runner.flush()
     stats = runner.stats()
-    print(f"total: {time.time() - t0:.0f}s; cache hits={stats['hits']} "
+    print(f"total: {time.monotonic() - t0:.0f}s; cache hits={stats['hits']} "
           f"misses={stats['misses']} flushes={stats['flushes']} "
           f"entries={stats['entries']} jobs={jobs}")
     print(runner.execution_health())
+    obs.finalize(extra_metrics={"runner": runner.metrics})
     if failed_steps:
         print(f"completed with failures: {', '.join(failed_steps)}",
               file=sys.stderr)

@@ -29,6 +29,15 @@ snapshot instead of starting cold.  ``--checkpoint-interval N`` (or
 ``REPRO_CHECKPOINT_INTERVAL``) snapshots every N kernel boundaries
 (``0`` disables), ``--checkpoint-dir`` relocates the snapshots and
 ``--no-resume`` keeps writing them but always starts runs cold.
+
+Observability (see ``docs/ARCHITECTURE.md`` § "Observability"):
+``--trace-out trace.json`` records run/kernel/cache/checkpoint spans —
+including pool workers' — into a Chrome ``trace_event`` file loadable in
+``chrome://tracing`` or Perfetto; ``--metrics-out metrics.json`` writes
+the counters/gauges/histograms snapshot; ``--log-format json`` switches
+the stderr diagnostics to one-JSON-object-per-line.  Either output flag
+(or ``REPRO_OBS=1``) turns recording on; without them the hooks are
+never installed and the hot paths run untouched.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from repro.analysis.runner import (
 )
 from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.exceptions import ReproError
+from repro.obs import bootstrap, get_logger
 
 EXPERIMENTS = (
     "table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
@@ -90,6 +100,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-resume", action="store_true",
                         help="keep writing checkpoints but always start "
                              "runs cold")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace_event JSON "
+                             "(chrome://tracing / Perfetto) of this run")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the metrics snapshot (counters, "
+                             "gauges, histogram quantiles) as JSON")
+    parser.add_argument("--log-format", choices=("human", "json"),
+                        default=None,
+                        help="stderr diagnostics format (default human)")
     return parser
 
 
@@ -164,6 +183,10 @@ def run_experiment(name: str, args, runner: CachedRunner, out) -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    # Observability first: the profiling hooks must be installed before
+    # the runner constructs its store (shard loads are traced too).
+    obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
+    log = get_logger("cli")
     jobs = args.jobs if args.jobs is not None else default_jobs()
     runner = CachedRunner(
         None if args.no_cache else args.cache,
@@ -195,31 +218,29 @@ def main(argv=None) -> int:
                 if not args.keep_going:
                     raise
                 failed.append(name)
-                print(
-                    f"error: {name} failed ({error}); continuing "
-                    "(--keep-going)",
-                    file=sys.stderr,
+                log.error(
+                    "error: %s failed (%s); continuing (--keep-going)",
+                    name, error,
                 )
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        log.error("error: %s", error)
         return 2
     finally:
         runner.flush()
         stats = runner.stats()
-        print(
+        log.info(
+            "%s",
             "cache: {hits} hits, {misses} misses, {flushes} flushes, "
             "{entries} entries, {quarantined_shards} quarantined shards, "
             "{schema_mismatches} schema mismatches, "
             "{legacy_imported} legacy entries imported (jobs={jobs})".format(
                 **stats
             ),
-            file=sys.stderr,
         )
-        print(runner.execution_health(), file=sys.stderr)
+        log.info("%s", runner.execution_health())
+        obs.finalize(extra_metrics={"runner": runner.metrics})
     if failed:
-        print(
-            f"completed with failures: {', '.join(failed)}", file=sys.stderr
-        )
+        log.error("completed with failures: %s", ", ".join(failed))
         return 1
     return 0
 

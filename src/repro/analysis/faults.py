@@ -228,6 +228,9 @@ class FailureManifest:
         if not self.root:
             return 0
         by_shard: Dict[str, List[str]] = {}
+        # Deliberately wall-clock: ``recorded_at`` is a report timestamp
+        # humans correlate with logs, not a duration measurement (those
+        # use time.monotonic() elsewhere in this package).
         stamp = time.time()
         for outcome in outcomes:
             record = dict(asdict(outcome), recorded_at=stamp)

@@ -56,6 +56,8 @@ from repro.analysis.faults import (
 from repro.analysis.simcache import ResultStore
 from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
 from repro.exceptions import ExecutionError, ReproError
+from repro.obs.profile_hooks import ensure_worker
+from repro.obs.tracing import get_tracer
 from repro.workloads.spec import BenchmarkSpec
 
 __all__ = ["RunRequest", "ParallelRunner", "execute_request", "execute_attempt"]
@@ -150,20 +152,38 @@ def execute_attempt(
     share no state.  Returns ``(key, shard, payload, meta)``; ``meta``
     carries checkpoint-resume telemetry when the attempt restarted from
     a snapshot a dead predecessor left behind.
+
+    This is also the pool workers' observability entry point:
+    :func:`repro.obs.profile_hooks.ensure_worker` arms the hooks when
+    ``REPRO_OBS`` is set (one env lookup otherwise) and the attempt's
+    spans spill to ``REPRO_OBS_SPILL`` before the worker moves on, so
+    the parent's exporter sees them even if the worker dies later.
     """
-    maybe_inject(
-        request.key, request.kind, request.spec.abbr, attempt,
-        allow_exit=allow_exit,
-    )
-    checkpointer = _checkpointer_for(request, checkpoint, allow_exit)
-    key, shard, payload = execute_request(request, checkpointer=checkpointer)
-    meta = {}
-    if checkpointer is not None and checkpointer.resumed_from is not None:
-        meta = {
-            "resumed_from_kernel": checkpointer.resumed_from,
-            "cycles_saved": checkpointer.cycles_saved,
-        }
-    return key, shard, payload, meta
+    ensure_worker()
+    tracer = get_tracer()
+    try:
+        with tracer.span(
+            f"attempt:{request.spec.abbr}", cat="run",
+            kind=request.kind, attempt=attempt,
+        ):
+            maybe_inject(
+                request.key, request.kind, request.spec.abbr, attempt,
+                allow_exit=allow_exit,
+            )
+            checkpointer = _checkpointer_for(request, checkpoint, allow_exit)
+            key, shard, payload = execute_request(
+                request, checkpointer=checkpointer
+            )
+        meta = {}
+        if checkpointer is not None and checkpointer.resumed_from is not None:
+            meta = {
+                "resumed_from_kernel": checkpointer.resumed_from,
+                "cycles_saved": checkpointer.cycles_saved,
+            }
+        return key, shard, payload, meta
+    finally:
+        if tracer.enabled and tracer.spill_dir:
+            tracer.flush_spill()
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -283,6 +303,12 @@ class ParallelRunner:
             for key, request in unique.items()
             if not self.store.contains(key)
         ]
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "batch.submit", cat="run",
+                args={"requested": len(unique), "pending": len(pending)},
+            )
         if not pending:
             self.last_report = BatchReport()
             return self.last_report
@@ -347,6 +373,12 @@ class ParallelRunner:
                     )
                 except Exception:
                     if attempt <= policy.max_retries:
+                        tracer = get_tracer()
+                        if tracer.enabled:
+                            tracer.instant(
+                                "run.retry", cat="run",
+                                args={"key": request.key, "attempt": attempt},
+                            )
                         time.sleep(policy.backoff(attempt))
                         attempt += 1
                         continue
@@ -433,6 +465,15 @@ class ParallelRunner:
                             broken = True
                         except Exception:
                             if attempt <= policy.max_retries:
+                                tracer = get_tracer()
+                                if tracer.enabled:
+                                    tracer.instant(
+                                        "run.retry", cat="run",
+                                        args={
+                                            "key": request.key,
+                                            "attempt": attempt,
+                                        },
+                                    )
                                 heapq.heappush(
                                     retries,
                                     (
@@ -458,9 +499,22 @@ class ParallelRunner:
                         queue.append((request, attempt))
                     inflight.clear()
                     state.pool_deaths += 1
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        tracer.instant(
+                            "pool.death", cat="run",
+                            args={"deaths": state.pool_deaths},
+                        )
                     _shutdown_pool(pool)
                     if state.pool_deaths >= policy.max_pool_deaths:
                         state.degraded = True
+                        if tracer.enabled:
+                            tracer.instant(
+                                "pool.degrade", cat="run",
+                                args={
+                                    "remaining": len(queue) + len(retries),
+                                },
+                            )
                         warnings.warn(
                             f"parallel runner: worker pool died "
                             f"{state.pool_deaths} times; degrading to "
@@ -487,9 +541,15 @@ class ParallelRunner:
                     if deadline <= now
                 ]
                 if expired:
+                    tracer = get_tracer()
                     for future in expired:
                         request, attempt, _ = inflight.pop(future)
                         future.cancel()
+                        if tracer.enabled:
+                            tracer.instant(
+                                "run.timeout", cat="run",
+                                args={"key": request.key, "attempt": attempt},
+                            )
                         outcomes[request.key] = _outcome(
                             request, TIMEOUT, attempt,
                             f"run exceeded the per-run timeout of "

@@ -48,6 +48,8 @@ from repro.exceptions import ReproError
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import get_tracer
 from repro.workloads import build_trace
 from repro.workloads.spec import BenchmarkSpec
 
@@ -308,16 +310,22 @@ class CachedRunner:
         if checkpoint is None:
             checkpoint = default_checkpoint_policy(cache_path)
         self.checkpoint = checkpoint
-        self.hits = 0
-        self.misses = 0
         self.last_report: Optional[BatchReport] = None
-        self._exec = {
-            "exec_ok": 0,
-            "exec_failed": 0,
-            "exec_timeout": 0,
-            "exec_retries": 0,
-            "exec_pool_deaths": 0,
-        }
+        # Per-instance registry: tests build several runners per process,
+        # so hit/miss/execution telemetry must not conflate through the
+        # process-wide registry.  Exporters merge it in with a ``runner.``
+        # prefix (see ``repro.obs.export.write_metrics``).
+        self.metrics = MetricsRegistry()
+
+    @property
+    def hits(self) -> int:
+        """Cache hits served by this runner (view over the registry)."""
+        return self.metrics.counter("runner.hits").value
+
+    @property
+    def misses(self) -> int:
+        """Cache misses this runner had to compute (registry view)."""
+        return self.metrics.counter("runner.misses").value
 
     # --- batched execution -----------------------------------------------------
     def prefetch(self, requests: Iterable) -> int:
@@ -347,12 +355,8 @@ class CachedRunner:
         if report is None:
             return
         self.last_report = report
-        counts = report.counts()
-        self._exec["exec_ok"] += counts["ok"]
-        self._exec["exec_failed"] += counts["failed"]
-        self._exec["exec_timeout"] += counts["timeout"]
-        self._exec["exec_retries"] += counts["retries"]
-        self._exec["exec_pool_deaths"] += counts["pool_deaths"]
+        for status, count in report.counts().items():
+            self.metrics.inc(f"exec.{status}", count)
 
     def _checkpointer_for(self, key: str, kind: str, shard: str):
         """Per-run checkpointer for the lazy in-process path, or None.
@@ -368,6 +372,24 @@ class CachedRunner:
             on_checkpoint=kernel_kill_hook(key, kind, shard, allow_exit=False),
         )
 
+    # --- cache telemetry -------------------------------------------------------
+    def _record_hit(self, kind: str) -> None:
+        self.metrics.inc("runner.hits")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("run.hit", cat="run", args={"kind": kind})
+
+    def _record_miss(self, kind: str) -> None:
+        self.metrics.inc("runner.misses")
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant("run.miss", cat="run", args={"kind": kind})
+
+    def _absorb_result(self, result: SimulationResult) -> None:
+        """Mirror a computed result's event counts into the registry."""
+        for name, value in result.counters().items():
+            self.metrics.inc(f"sim.{name}", value)
+
     # --- timing runs ------------------------------------------------------------
     def simulate(
         self,
@@ -381,18 +403,22 @@ class CachedRunner:
         if cached is not None:
             result = result_from_payload(cached)
             if result is not None:
-                self.hits += 1
+                self._record_hit("sim")
                 return result
             self.store.record_schema_mismatch(key)
-        self.misses += 1
+        self._record_miss("sim")
         # The lazy path is one in-process attempt; the fault-injection
         # hook arms here too so REPRO_FAULT_INJECT exercises the CLIs'
         # keep-going handling end to end, not just the pool workers.
         maybe_inject(key, "sim", spec.abbr, attempt=1, allow_exit=False)
         ckpt = self._checkpointer_for(key, "sim", spec.abbr)
-        result = compute_sim(spec, num_sms, work_scale, seed, checkpointer=ckpt)
+        with get_tracer().span(f"run.sim:{spec.abbr}", cat="run", sms=num_sms):
+            result = compute_sim(
+                spec, num_sms, work_scale, seed, checkpointer=ckpt
+            )
         if ckpt is not None and ckpt.resumed_from is not None:
             self.store.record_resume(ckpt.cycles_saved)
+        self._absorb_result(result)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
 
@@ -408,17 +434,21 @@ class CachedRunner:
         if cached is not None:
             result = result_from_payload(cached)
             if result is not None:
-                self.hits += 1
+                self._record_hit("mcm")
                 return result
             self.store.record_schema_mismatch(key)
-        self.misses += 1
+        self._record_miss("mcm")
         maybe_inject(key, "mcm", spec.abbr, attempt=1, allow_exit=False)
         ckpt = self._checkpointer_for(key, "mcm", spec.abbr)
-        result = compute_mcm(
-            spec, num_chiplets, work_scale, seed, checkpointer=ckpt
-        )
+        with get_tracer().span(
+            f"run.mcm:{spec.abbr}", cat="run", chiplets=num_chiplets
+        ):
+            result = compute_mcm(
+                spec, num_chiplets, work_scale, seed, checkpointer=ckpt
+            )
         if ckpt is not None and ckpt.resumed_from is not None:
             self.store.record_resume(ckpt.cycles_saved)
+        self._absorb_result(result)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
 
@@ -435,16 +465,26 @@ class CachedRunner:
         if cached is not None:
             curve = safe_curve_from_payload(cached)
             if curve is not None:
-                self.hits += 1
+                self._record_hit("mrc")
                 return curve
             self.store.record_schema_mismatch(key)
-        self.misses += 1
+        self._record_miss("mrc")
         maybe_inject(key, "mrc", spec.abbr, attempt=1, allow_exit=False)
-        curve = compute_mrc(spec, work_scale, method, seed)
+        with get_tracer().span(
+            f"run.mrc:{spec.abbr}", cat="run", method=method
+        ):
+            curve = compute_mrc(spec, work_scale, method, seed)
         self.store.put(key, curve_payload(curve), shard=spec.abbr)
         return curve
 
     # --- housekeeping ----------------------------------------------------------
+    def _exec_counts(self) -> Dict[str, int]:
+        """Execution-outcome counters in their historical ``exec_*`` keys."""
+        return {
+            f"exec_{status}": self.metrics.counter(f"exec.{status}").value
+            for status in ("ok", "failed", "timeout", "retries", "pool_deaths")
+        }
+
     def stats(self) -> Dict[str, int]:
         """Runner + store + execution telemetry (hits, misses, flushes,
         quarantines, failed/timed-out/retried runs, pool deaths)."""
@@ -452,15 +492,20 @@ class CachedRunner:
         merged["runner_hits"] = self.hits
         merged["runner_misses"] = self.misses
         merged["jobs"] = self.jobs
-        merged.update(self._exec)
+        merged.update(self._exec_counts())
         return merged
 
     def execution_health(self) -> str:
-        """One-line end-of-run execution summary for CLI/script output."""
+        """One-line end-of-run execution summary for CLI/script output.
+
+        A formatted view over the runner's metrics registry; the wording
+        predates the registry and is kept stable for scripts and tests
+        that grep it.
+        """
         text = (
             "execution: {exec_ok} ok, {exec_failed} failed, "
             "{exec_timeout} timed out, {exec_retries} retries, "
-            "{exec_pool_deaths} pool deaths".format(**self._exec)
+            "{exec_pool_deaths} pool deaths".format(**self._exec_counts())
         )
         store = self.store.stats()
         resumed = store.get("checkpoints_resumed", 0)

@@ -35,6 +35,9 @@ import re
 import warnings
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.metrics import CounterBag, get_registry
+from repro.obs.tracing import get_tracer
+
 __all__ = ["ResultStore", "DEFAULT_STORE_ROOT", "LEGACY_CACHE_FILE"]
 
 DEFAULT_STORE_ROOT = os.path.join("results", "simcache")
@@ -71,7 +74,10 @@ class ResultStore:
         self.flush_every = flush_every
         self._entries: Dict[str, dict] = {}
         self._pending: List[Tuple[str, str, dict]] = []  # (shard, key, payload)
-        self._stats = {
+        # Per-store telemetry on the shared stat-bag primitive; the
+        # process-wide registry additionally mirrors hit/miss totals
+        # while observability is recording (see ``get``).
+        self._stats = CounterBag({
             "entries": 0,
             "hits": 0,
             "misses": 0,
@@ -86,7 +92,7 @@ class ResultStore:
             "legacy_corrupt": 0,
             "checkpoints_resumed": 0,
             "cycles_saved": 0.0,
-        }
+        })
         if self.root:
             self._load_shards()
         if self.legacy_path:
@@ -105,6 +111,10 @@ class ResultStore:
             self._stats["misses"] += 1
         else:
             self._stats["hits"] += 1
+        if get_tracer().enabled:
+            get_registry().inc(
+                "cache.misses" if payload is None else "cache.hits"
+            )
         return payload
 
     def contains(self, key: str) -> bool:
@@ -172,7 +182,7 @@ class ResultStore:
     # --- telemetry -------------------------------------------------------------
     def stats(self) -> Dict[str, float]:
         """A snapshot of the store's counters (see module docstring)."""
-        return dict(self._stats)
+        return self._stats.as_dict()
 
     def record_resume(self, cycles_saved: float = 0.0) -> None:
         """Count one run resumed from a checkpoint instead of cold-started;

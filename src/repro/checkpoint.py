@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.exceptions import CheckpointError
+from repro.obs.tracing import get_tracer
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -314,6 +315,16 @@ class Checkpointer:
         """Record that the run restarted past ``kernels_completed`` kernels."""
         self.resumed_from = kernels_completed
         self.cycles_saved = float(cycles)
+        tracer = get_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                "checkpoint.resume",
+                cat="checkpoint",
+                args={
+                    "kernels_completed": kernels_completed,
+                    "cycles_saved": float(cycles),
+                },
+            )
 
     def cleanup(self) -> None:
         """Remove the run's snapshots after a successful completion."""

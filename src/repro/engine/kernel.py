@@ -2,10 +2,18 @@
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Callable, Optional
 
 from repro.engine.event import Event, EventQueue
 from repro.exceptions import SimulationError
+
+#: Optional observability hook, set by ``repro.obs.profile_hooks.install``.
+#: Called as ``_run_observer(kernel, fired, duration_s)`` after each
+#: :meth:`SimulationKernel.run` returns.  ``None`` (the default) keeps the
+#: event loop's disabled-observability cost at a single ``is None`` check
+#: per ``run()`` call — never per event.
+_run_observer: Optional[Callable[["SimulationKernel", int, float], None]] = None
 
 
 class SimulationKernel:
@@ -64,6 +72,8 @@ class SimulationKernel:
         self._running = True
         fired = 0
         queue = self._queue
+        observer = _run_observer
+        start = _time.perf_counter() if observer is not None else 0.0
         try:
             while self._running:
                 if max_events is not None and fired >= max_events:
@@ -88,6 +98,8 @@ class SimulationKernel:
                 fired += 1
         finally:
             self._running = False
+            if observer is not None:
+                observer(self, fired, _time.perf_counter() - start)
 
     def stop(self) -> None:
         """Ask a running :meth:`run` loop to return after the current event."""

@@ -4,31 +4,19 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.metrics import CounterBag
 
-class Counter:
-    """A named bag of integer counters with dict-like access."""
 
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
+class Counter(CounterBag):
+    """A named bag of integer counters with dict-like access.
 
-    def add(self, key: str, amount: int = 1) -> None:
-        self._counts[key] = self._counts.get(key, 0) + amount
+    Thin shim over :class:`repro.obs.metrics.CounterBag`, the shared
+    stat-bag primitive of the observability subsystem; kept so existing
+    engine components and callers are untouched.
+    """
 
-    def get(self, key: str) -> int:
-        return self._counts.get(key, 0)
-
-    def as_dict(self) -> Dict[str, int]:
-        return dict(self._counts)
-
-    def reset(self) -> None:
-        self._counts.clear()
-
-    def __getitem__(self, key: str) -> int:
-        return self.get(key)
-
-    def __repr__(self) -> str:
-        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
-        return f"Counter({inner})"
+    def get(self, key: str, default: int = 0) -> int:
+        return int(super().get(key, default))
 
 
 class BusyTracker:

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional
 from repro.engine.kernel import SimulationKernel
 from repro.exceptions import CheckpointError, ConfigurationError, SimulationError
 from repro.gpu.config import GPUConfig
+from repro.obs.tracing import get_tracer
 from repro.gpu.cta import CTADispatcher
 from repro.gpu.memory import MemorySubsystem
 from repro.gpu.results import SimulationResult
@@ -69,6 +70,8 @@ class GPUSimulator:
         self.dispatcher = CTADispatcher(self.sms, policy=config.cta_scheduler)
         self._workload: Optional[WorkloadTrace] = None
         self._checkpointer = None
+        self._tracer = None  # set per run() when observability is on
+        self._kernel_start_us = 0.0
         self._kernel_index = 0
         self._live_ctas = {}
         self._cta_seq = 0
@@ -92,6 +95,9 @@ class GPUSimulator:
         validate_trace(workload)
         self._workload = workload
         self._checkpointer = checkpointer
+        tracer = get_tracer()
+        self._tracer = tracer if tracer.enabled else None
+        run_start_us = tracer.now_us() if self._tracer is not None else 0.0
         wall_start = _time.perf_counter()
         if not (checkpointer is not None and self._try_resume(workload)):
             self._prewarm(workload)
@@ -104,6 +110,18 @@ class GPUSimulator:
             )
         wall = _time.perf_counter() - wall_start
         result = self._build_result(wall)
+        if self._tracer is not None:
+            self._tracer.complete(
+                f"sim:{workload.name}",
+                "sim",
+                run_start_us,
+                self._tracer.now_us() - run_start_us,
+                args={
+                    "system": self.config.name,
+                    "cycles": result.cycles,
+                    "events": result.events,
+                },
+            )
         if checkpointer is not None:
             # The result is durable in the caller's store; the snapshots
             # have nothing left to protect.
@@ -131,6 +149,8 @@ class GPUSimulator:
 
     # --- kernel / CTA lifecycle ------------------------------------------------
     def _launch_kernel(self) -> None:
+        if self._tracer is not None:
+            self._kernel_start_us = self._tracer.now_us()
         kernel = self._workload.kernels[self._kernel_index]
         max_resident = self.config.max_resident_ctas(kernel.threads_per_cta)
         self.dispatcher.load_kernel(kernel.num_ctas, max_resident)
@@ -170,6 +190,7 @@ class GPUSimulator:
         if self._live_ctas:
             return
         # Kernel drained: move to the next one, or finish the workload.
+        self._trace_kernel_end()
         self._kernel_index += 1
         if self._kernel_index < len(self._workload.kernels):
             # The boundary is the checkpoint cut: the event queue is
@@ -179,6 +200,20 @@ class GPUSimulator:
             self._launch_next_kernel()
         else:
             self._finished = True
+
+    def _trace_kernel_end(self) -> None:
+        """Record the just-drained kernel as one wall-time span."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        kernel = self._workload.kernels[self._kernel_index]
+        tracer.complete(
+            f"kernel[{self._kernel_index}]:{getattr(kernel, 'name', '?')}",
+            "kernel",
+            self._kernel_start_us,
+            tracer.now_us() - self._kernel_start_us,
+            args={"sim_cycles": self.kernel_clock.now},
+        )
 
     def _launch_next_kernel(self) -> None:
         """Launch the kernel at ``_kernel_index`` from a boundary.
@@ -241,6 +276,16 @@ class GPUSimulator:
         self._checkpointer.mark_resumed(
             self._kernel_index, self.kernel_clock.now
         )
+        if self._tracer is not None:
+            self._tracer.instant(
+                "sim.resume",
+                cat="checkpoint",
+                args={
+                    "workload": workload.name,
+                    "kernels_completed": self._kernel_index,
+                    "cycles_saved": self.kernel_clock.now,
+                },
+            )
         self._launch_next_kernel()
         return True
 

@@ -3,9 +3,23 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.exceptions import SimulationError
+from repro.obs.metrics import CounterBag
+
+#: Integer event counts of a result; the fields :meth:`SimulationResult.counters`
+#: exposes and :func:`aggregate_counters` sums across runs.
+COUNTER_FIELDS = (
+    "thread_instructions",
+    "warp_instructions",
+    "memory_accesses",
+    "l1_hits",
+    "l1_misses",
+    "llc_hits",
+    "llc_misses",
+    "events",
+)
 
 
 @dataclass(frozen=True)
@@ -76,3 +90,24 @@ class SimulationResult:
             f"({self.cycles:.0f} cycles, {self.thread_instructions} thread insns), "
             f"f_mem={self.memory_stall_fraction:.3f}, MPKI={self.mpki:.2f}"
         )
+
+    def counters(self) -> CounterBag:
+        """The result's integer event counts as one shared stat bag.
+
+        The single aggregation surface for downstream consumers (the
+        metrics registry mirror, artifact export, reports) — replaces
+        the ad-hoc per-caller dicts that used to pick fields by hand.
+        """
+        bag = CounterBag()
+        for name in COUNTER_FIELDS:
+            bag[name] = getattr(self, name)
+        return bag
+
+
+def aggregate_counters(results: Iterable[SimulationResult]) -> CounterBag:
+    """Sum the counter fields of many results into one bag."""
+    total = CounterBag()
+    for result in results:
+        for name, value in result.counters().items():
+            total.add(name, value)
+    return total

@@ -1,0 +1,106 @@
+"""One structured-logging setup for every CLI and script.
+
+``setup_logging`` configures the ``repro`` logger hierarchy exactly
+once per call (idempotent: handlers are replaced, never stacked, so
+repeated ``main()`` invocations in one process — the test suite — do
+not duplicate output).  Two formats:
+
+* ``human`` — bare messages on stderr, matching the diagnostics the
+  CLIs printed before this module existed (scripts that grep the old
+  output keep working).
+* ``json`` — one JSON object per line (``ts``, ``level``, ``logger``,
+  ``msg``) for log shippers.
+
+``captureWarnings`` routes :mod:`warnings` output — the repository's
+degrade-with-a-warning tolerance paths — through the same handler, so a
+``--log-format json`` run emits *only* structured lines.  Library code
+keeps using ``warnings.warn`` (callers and tests rely on the warnings
+API); the bridge is active only in processes that called
+``setup_logging``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional, TextIO
+
+__all__ = ["setup_logging", "get_logger", "JsonFormatter"]
+
+ROOT_LOGGER = "repro"
+
+_FORMATS = ("human", "json")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload)
+
+    def formatTime(self, record, datefmt=None):  # pragma: no cover - unused
+        return time.strftime("%H:%M:%S", time.localtime(record.created))
+
+
+def setup_logging(
+    fmt: str = "human",
+    level: int = logging.INFO,
+    stream: Optional[TextIO] = None,
+    capture_warnings: bool = True,
+) -> logging.Logger:
+    """Configure (or reconfigure) the ``repro`` logger; returns it.
+
+    ``stream=None`` follows ``sys.stderr`` dynamically — important under
+    pytest's ``capsys``, which swaps ``sys.stderr`` per test; a handler
+    bound to the stream object at setup time would write to a closed
+    capture buffer.
+    """
+    if fmt not in _FORMATS:
+        raise ValueError(f"unknown log format {fmt!r} (expected {_FORMATS})")
+    handler = (
+        _DynamicStderrHandler() if stream is None
+        else logging.StreamHandler(stream)
+    )
+    handler.setFormatter(
+        JsonFormatter() if fmt == "json" else logging.Formatter("%(message)s")
+    )
+    for name in (ROOT_LOGGER, "py.warnings"):
+        logger = logging.getLogger(name)
+        for old in list(logger.handlers):
+            logger.removeHandler(old)
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+    logging.captureWarnings(capture_warnings)
+    return logging.getLogger(ROOT_LOGGER)
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """A StreamHandler that re-reads ``sys.stderr`` on every emit."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stderr)
+
+    @property
+    def stream(self):  # type: ignore[override]
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:
+        # StreamHandler.__init__ assigns; the dynamic lookup wins.
+        pass
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger (``repro.<name>``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

@@ -1,0 +1,234 @@
+"""Run tracing: spans and instant events with bounded buffers.
+
+The :class:`Tracer` records *complete spans* (name, category, start
+timestamp, duration) and *instant events* in the Chrome ``trace_event``
+vocabulary, so :mod:`repro.obs.export` can serialize them for
+``chrome://tracing`` / Perfetto without translation.
+
+Contract:
+
+* **Disabled is free.**  ``tracer.span(...)`` returns a shared no-op
+  context manager when the tracer is off; the only cost is one attribute
+  check.  Nothing in the repository records unconditionally.
+* **Bounded memory.**  The in-memory buffer holds at most
+  ``buffer_limit`` events.  With a spill directory configured the buffer
+  drains to an append-only JSONL file (one event per line) when full;
+  without one, the oldest events are dropped and counted.
+* **Timestamps merge across processes.**  Events carry wall-anchored
+  microsecond timestamps: a per-process monotonic clock
+  (``perf_counter``) measures offsets and durations, anchored once to
+  the wall clock at tracer creation.  Worker-process spill files and the
+  parent buffer therefore share one timeline.
+* **Fork-safe.**  A tracer inherited through ``fork`` (pool workers)
+  detects the pid change on first use and drops the parent's buffered
+  events, so they are never double-reported from the child's spill.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["Tracer", "NULL_SPAN", "get_tracer", "SPILL_BASENAME"]
+
+#: Worker spill files: ``<spill_dir>/trace-<pid>.jsonl``.
+SPILL_BASENAME = "trace-{pid}.jsonl"
+
+DEFAULT_BUFFER_LIMIT = 65536
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: records one complete event when it exits."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "start_us")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, args) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.start_us = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.start_us = self.tracer.now_us()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.tracer.complete(
+            self.name,
+            self.cat,
+            self.start_us,
+            self.tracer.now_us() - self.start_us,
+            args=self.args,
+        )
+
+
+class Tracer:
+    """Records spans and instants into a bounded buffer (JSONL spill)."""
+
+    def __init__(self, buffer_limit: int = DEFAULT_BUFFER_LIMIT) -> None:
+        if buffer_limit < 1:
+            raise ValueError(f"buffer_limit must be >= 1, got {buffer_limit}")
+        self.enabled = False
+        self.buffer_limit = buffer_limit
+        self.spill_dir: Optional[str] = None
+        self.dropped = 0
+        self.metrics = None  # optional MetricsRegistry sink for span durations
+        self._events: List[dict] = []
+        self._pid = os.getpid()
+        # Wall-anchored monotonic clock: offsets and durations come from
+        # perf_counter (never rewinds), anchored once to the wall clock
+        # so timestamps from different processes share a timeline.
+        self._epoch_wall_us = time.time() * 1e6
+        self._epoch_perf = time.perf_counter()
+
+    # --- clock -------------------------------------------------------------
+    def now_us(self) -> float:
+        """Current wall-anchored timestamp in microseconds."""
+        return self._epoch_wall_us + (
+            time.perf_counter() - self._epoch_perf
+        ) * 1e6
+
+    # --- lifecycle ---------------------------------------------------------
+    def enable(self, spill_dir: Optional[str] = None) -> None:
+        if spill_dir is not None:
+            self.spill_dir = spill_dir
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+
+    # --- recording ---------------------------------------------------------
+    def span(self, name: str, cat: str = "misc", **args):
+        """Context manager timing one span; no-op while disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, cat, args or None)
+
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts_us: float,
+        dur_us: float,
+        args: Optional[Dict] = None,
+    ) -> None:
+        """Record one already-measured complete span."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": ts_us,
+            "dur": max(0.0, dur_us),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+        }
+        if args:
+            event["args"] = args
+        self._record(event)
+        if self.metrics is not None:
+            self.metrics.observe(f"span.{cat}.us", max(0.0, dur_us))
+
+    def instant(
+        self, name: str, cat: str = "misc", args: Optional[Dict] = None
+    ) -> None:
+        """Record one instant event (a point on the timeline)."""
+        if not self.enabled:
+            return
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "p",  # process-scoped instant
+            "ts": self.now_us(),
+            "pid": os.getpid(),
+            "tid": threading.get_ident() & 0xFFFFFFFF,
+        }
+        if args:
+            event["args"] = args
+        self._record(event)
+
+    def _record(self, event: dict) -> None:
+        self._check_fork()
+        self._events.append(event)
+        if len(self._events) >= self.buffer_limit:
+            if self.spill_dir:
+                self.flush_spill()
+            else:
+                # Keep the newest half; bounded memory beats completeness.
+                drop = len(self._events) // 2
+                del self._events[:drop]
+                self.dropped += drop
+
+    def _check_fork(self) -> None:
+        """Drop events inherited from a parent process through fork."""
+        pid = os.getpid()
+        if pid != self._pid:
+            self._events.clear()
+            self._pid = pid
+
+    # --- draining ----------------------------------------------------------
+    def events(self) -> List[dict]:
+        """Snapshot of the buffered (un-spilled) events."""
+        self._check_fork()
+        return list(self._events)
+
+    def spill_path(self) -> Optional[str]:
+        if not self.spill_dir:
+            return None
+        return os.path.join(
+            self.spill_dir, SPILL_BASENAME.format(pid=os.getpid())
+        )
+
+    def flush_spill(self) -> int:
+        """Append the buffer to this process's spill file; returns count.
+
+        One ``write()`` for the whole batch, same crash contract as the
+        result store: a crash can at worst truncate the final line, which
+        the tolerant reader in :mod:`repro.obs.export` skips.
+        """
+        self._check_fork()
+        path = self.spill_path()
+        if path is None or not self._events:
+            return 0
+        os.makedirs(self.spill_dir, exist_ok=True)
+        lines = "".join(
+            json.dumps(event) + "\n" for event in self._events
+        )
+        with open(path, "a") as fh:
+            fh.write(lines)
+        flushed = len(self._events)
+        self._events.clear()
+        return flushed
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER

@@ -1,0 +1,207 @@
+"""Profiling hooks: strictly opt-in, no-op when ``REPRO_OBS`` is unset,
+fully removable, and recording the advertised span categories when on."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import bootstrap
+from repro.obs.export import validate_trace_events
+from repro.obs.metrics import get_registry
+from repro.obs.profile_hooks import (
+    OBS_ENV,
+    SPILL_ENV,
+    ensure_worker,
+    install,
+    obs_enabled,
+    uninstall,
+)
+from repro.obs.tracing import get_tracer
+from repro.workloads import get_benchmark
+
+
+@pytest.fixture
+def tiny_spec():
+    return get_benchmark("va", weak=True)
+
+
+@pytest.fixture
+def clean_obs(monkeypatch):
+    """Guarantee pristine global observability state around a test."""
+    monkeypatch.delenv(OBS_ENV, raising=False)
+    monkeypatch.delenv(SPILL_ENV, raising=False)
+    yield
+    # bootstrap() writes these straight into os.environ (workers must
+    # inherit them), so monkeypatch alone cannot undo a test's opt-in.
+    os.environ.pop(OBS_ENV, None)
+    os.environ.pop(SPILL_ENV, None)
+    uninstall()
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.spill_dir = None
+    get_registry().reset()
+
+
+class TestOptIn:
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", "no", "No"])
+    def test_falsy_values(self, value):
+        assert obs_enabled(value) is False
+
+    @pytest.mark.parametrize("value", ["1", "true", "on", "yes"])
+    def test_truthy_values(self, value):
+        assert obs_enabled(value) is True
+
+    def test_env_lookup(self, clean_obs, monkeypatch):
+        assert obs_enabled() is False
+        monkeypatch.setenv(OBS_ENV, "1")
+        assert obs_enabled() is True
+
+
+class TestNoOpWhenDisabled:
+    def test_hot_paths_untouched_without_env(self, clean_obs):
+        from repro.analysis.parallel import ParallelRunner
+        from repro.analysis.simcache import ResultStore
+        from repro.checkpoint import Checkpointer
+        from repro.engine import kernel as engine_kernel
+
+        flush = ResultStore.flush
+        save = Checkpointer.save
+        batch = ParallelRunner.run_batch_report
+        ensure_worker()  # REPRO_OBS unset: must install nothing
+        assert ResultStore.flush is flush
+        assert Checkpointer.save is save
+        assert ParallelRunner.run_batch_report is batch
+        assert engine_kernel._run_observer is None
+        assert get_tracer().enabled is False
+
+    def test_simulation_records_nothing_when_disabled(
+        self, clean_obs, tiny_spec
+    ):
+        from repro.analysis.runner import CachedRunner
+
+        runner = CachedRunner(cache_path=None)
+        runner.simulate(tiny_spec, 8)
+        assert get_tracer().events() == []
+        assert get_registry().snapshot()["counters"] == {}
+
+
+class TestInstallUninstall:
+    def test_install_patches_and_uninstall_restores(self, clean_obs):
+        from repro.analysis.simcache import ResultStore
+        from repro.checkpoint import Checkpointer
+        from repro.engine import kernel as engine_kernel
+
+        flush = ResultStore.flush
+        save = Checkpointer.save
+        install()
+        assert ResultStore.flush is not flush
+        assert Checkpointer.save is not save
+        assert engine_kernel._run_observer is not None
+        assert get_tracer().enabled is True
+        uninstall()
+        assert ResultStore.flush is flush
+        assert Checkpointer.save is save
+        assert engine_kernel._run_observer is None
+        assert get_tracer().enabled is False
+
+    def test_install_is_idempotent(self, clean_obs):
+        from repro.analysis.simcache import ResultStore
+
+        install()
+        once = ResultStore.flush
+        install()
+        assert ResultStore.flush is once  # not double-wrapped
+        uninstall()
+
+    def test_ensure_worker_arms_when_env_set(self, clean_obs, monkeypatch):
+        from repro.engine import kernel as engine_kernel
+
+        monkeypatch.setenv(OBS_ENV, "1")
+        ensure_worker()
+        assert engine_kernel._run_observer is not None
+
+    def test_installed_hooks_record_metrics(self, clean_obs, tiny_spec):
+        from repro.analysis.runner import CachedRunner
+
+        install()
+        runner = CachedRunner(cache_path=None)
+        runner.simulate(tiny_spec, 8)
+        counters = get_registry().counters_dict()
+        assert counters["engine.events"] > 0
+        assert get_registry().histogram("engine.run_us").count > 0
+        cats = {e["cat"] for e in get_tracer().events()}
+        assert "kernel" in cats and "sim" in cats and "run" in cats
+
+
+class TestBootstrapEndToEnd:
+    def test_artifacts_written_and_valid(
+        self, clean_obs, tiny_spec, tmp_path, monkeypatch
+    ):
+        # The acceptance path: a small run with trace/metrics outputs
+        # yields Chrome-loadable JSON spanning the advertised categories
+        # plus a metrics snapshot with counters/gauges/histograms.
+        monkeypatch.chdir(tmp_path)
+        from repro.analysis.runner import CachedRunner
+
+        trace_out = str(tmp_path / "trace.json")
+        metrics_out = str(tmp_path / "metrics.json")
+        session = bootstrap(trace_out=trace_out, metrics_out=metrics_out)
+        assert session.active
+        runner = CachedRunner(cache_path=str(tmp_path / "cache"))
+        runner.simulate(tiny_spec, 8)
+        runner.simulate(tiny_spec, 8)  # one hit
+        runner.flush()
+        session.finalize(extra_metrics={"runner": runner.metrics})
+
+        document = json.loads((tmp_path / "trace.json").read_text())
+        assert validate_trace_events(document) == []
+        cats = {e["cat"] for e in document["traceEvents"]}
+        assert {"run", "kernel", "cache", "checkpoint"} <= cats
+
+        snapshot = json.loads((tmp_path / "metrics.json").read_text())
+        assert snapshot["counters"]["runner.runner.hits"] == 1
+        assert snapshot["counters"]["runner.runner.misses"] == 1
+        assert snapshot["gauges"]["obs.enabled"] == 1.0
+        quantiles = snapshot["histograms"]["span.kernel.us"]
+        assert quantiles["count"] > 0 and "p95" in quantiles
+        # The spill directory is cleaned up after a successful export.
+        assert not os.path.isdir(trace_out + ".spill")
+
+    def test_inactive_without_env_or_outputs(self, clean_obs):
+        session = bootstrap()
+        assert session.active is False
+        assert get_tracer().enabled is False
+        session.finalize()  # must be a harmless no-op
+
+
+class TestExecutionHealthParity:
+    def test_format_matches_pre_refactor_wording(self, clean_obs):
+        # execution_health() became a view over the metrics registry; the
+        # string scripts and CI grep must not have changed.
+        from repro.analysis.faults import OK, BatchReport, RunOutcome
+        from repro.analysis.runner import CachedRunner
+
+        runner = CachedRunner(cache_path=None)
+        assert runner.execution_health() == (
+            "execution: 0 ok, 0 failed, 0 timed out, 0 retries, "
+            "0 pool deaths"
+        )
+        report = BatchReport(outcomes=(
+            RunOutcome(key="k", kind="sim", shard="va", status=OK,
+                       attempts=2),
+        ))
+        runner._absorb_report(report)
+        assert runner.execution_health() == (
+            "execution: 1 ok, 0 failed, 0 timed out, 1 retries, "
+            "0 pool deaths"
+        )
+
+    def test_stats_keeps_exec_keys(self, clean_obs):
+        from repro.analysis.runner import CachedRunner
+
+        stats = CachedRunner(cache_path=None).stats()
+        for key in ("exec_ok", "exec_failed", "exec_timeout",
+                    "exec_retries", "exec_pool_deaths",
+                    "runner_hits", "runner_misses"):
+            assert stats[key] == 0

@@ -1,0 +1,184 @@
+"""Tracer behavior: span nesting and ordering, disabled no-op cost,
+bounded buffers, JSONL spill, fork inheritance."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.obs.tracing import NULL_SPAN, SPILL_BASENAME, Tracer, get_tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestDisabled:
+    def test_disabled_span_is_the_shared_null_span(self):
+        t = Tracer()
+        assert t.span("x") is NULL_SPAN
+        with t.span("x"):
+            pass
+        assert t.events() == []
+
+    def test_disabled_records_nothing(self):
+        t = Tracer()
+        t.complete("x", "misc", 0.0, 1.0)
+        t.instant("y")
+        assert t.events() == []
+
+
+class TestSpans:
+    def test_complete_event_fields(self, tracer):
+        with tracer.span("work", cat="run", key="k1"):
+            pass
+        (event,) = tracer.events()
+        assert event["name"] == "work"
+        assert event["cat"] == "run"
+        assert event["ph"] == "X"
+        assert event["pid"] == os.getpid()
+        assert isinstance(event["tid"], int)
+        assert event["dur"] >= 0.0
+        assert event["args"] == {"key": "k1"}
+
+    def test_nesting_contains_child(self, tracer):
+        # Chrome infers nesting from ts/dur containment: the parent span
+        # must fully cover its child on the timeline.
+        with tracer.span("outer"):
+            time.sleep(0.002)
+            with tracer.span("inner"):
+                time.sleep(0.002)
+            time.sleep(0.002)
+        inner, outer = tracer.events()  # inner exits (records) first
+        assert inner["name"] == "inner" and outer["name"] == "outer"
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1.0
+
+    def test_sequential_spans_ordered(self, tracer):
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        a, b = tracer.events()
+        assert a["name"] == "a"
+        assert a["ts"] <= b["ts"]
+
+    def test_span_records_on_exception(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        (event,) = tracer.events()
+        assert event["name"] == "doomed"
+
+    def test_instant_event(self, tracer):
+        tracer.instant("marker", cat="run", args={"n": 1})
+        (event,) = tracer.events()
+        assert event["ph"] == "i"
+        assert event["s"] == "p"
+        assert event["args"] == {"n": 1}
+
+    def test_metrics_sink_observes_span_durations(self, tracer):
+        from repro.obs.metrics import MetricsRegistry
+
+        tracer.metrics = MetricsRegistry()
+        with tracer.span("x", cat="cache"):
+            pass
+        assert tracer.metrics.histogram("span.cache.us").count == 1
+
+    def test_now_us_is_monotonic_nondecreasing(self, tracer):
+        stamps = [tracer.now_us() for _ in range(100)]
+        assert stamps == sorted(stamps)
+
+
+class TestBuffering:
+    def test_overflow_without_spill_drops_oldest(self):
+        t = Tracer(buffer_limit=10)
+        t.enable()
+        for i in range(25):
+            t.instant(f"e{i}")
+        assert len(t.events()) < 10
+        assert t.dropped > 0
+        names = [e["name"] for e in t.events()]
+        assert "e24" in names  # newest survives
+        assert "e0" not in names
+
+    def test_overflow_with_spill_writes_jsonl(self, tmp_path):
+        t = Tracer(buffer_limit=10)
+        t.enable(spill_dir=str(tmp_path))
+        for i in range(25):
+            t.instant(f"e{i}")
+        assert t.dropped == 0
+        spill = tmp_path / SPILL_BASENAME.format(pid=os.getpid())
+        lines = spill.read_text().splitlines()
+        assert len(lines) + len(t.events()) == 25
+        assert all(json.loads(line)["ph"] == "i" for line in lines)
+
+    def test_flush_spill_appends_and_clears(self, tmp_path):
+        t = Tracer()
+        t.enable(spill_dir=str(tmp_path))
+        t.instant("one")
+        assert t.flush_spill() == 1
+        t.instant("two")
+        assert t.flush_spill() == 1
+        assert t.events() == []
+        spill = tmp_path / SPILL_BASENAME.format(pid=os.getpid())
+        names = [json.loads(l)["name"] for l in spill.read_text().splitlines()]
+        assert names == ["one", "two"]
+
+    def test_flush_spill_without_dir_is_noop(self, tracer):
+        tracer.instant("kept")
+        assert tracer.flush_spill() == 0
+        assert len(tracer.events()) == 1
+
+    def test_buffer_limit_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(buffer_limit=0)
+
+
+class TestForkSafety:
+    def test_fork_drops_inherited_buffer(self, tracer, monkeypatch):
+        tracer.instant("parent-event")
+        assert len(tracer.events()) == 1
+        # Simulate the pid change a fork produces.
+        fake_pid = tracer._pid + 1
+        monkeypatch.setattr(os, "getpid", lambda: fake_pid)
+        assert tracer.events() == []
+        tracer.instant("child-event")
+        assert [e["name"] for e in tracer.events()] == ["child-event"]
+
+    def test_forked_child_spills_only_its_own_events(self):
+        # A real fork: the child must not re-report the parent's buffer.
+        if not hasattr(os, "fork"):
+            pytest.skip("no fork on this platform")
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as spill_dir:
+            t = Tracer()
+            t.enable(spill_dir=spill_dir)
+            t.instant("parent-only")
+            pid = os.fork()
+            if pid == 0:  # child
+                t.instant("child-only")
+                t.flush_spill()
+                os._exit(0)
+            os.waitpid(pid, 0)
+            spilled = []
+            for fname in os.listdir(spill_dir):
+                with open(os.path.join(spill_dir, fname)) as fh:
+                    spilled += [json.loads(line) for line in fh]
+            assert [e["name"] for e in spilled] == ["child-only"]
+            assert [e["name"] for e in t.events()] == ["parent-only"]
+
+
+class TestGlobalTracer:
+    def test_singleton(self):
+        assert get_tracer() is get_tracer()
+
+    def test_default_is_disabled(self):
+        # The suite never turns the global tracer on without cleanup;
+        # the disabled default is what keeps library hot paths free.
+        assert get_tracer().enabled is False

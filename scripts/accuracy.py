@@ -28,8 +28,16 @@ from repro.analysis.runner import (
 from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.core import METHOD_NAMES, ScaleModelPredictor, ScaleModelProfile
 from repro.core.baselines import make_predictor
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ShutdownRequested
 from repro.obs import bootstrap
+from repro.resilience import (
+    EXIT_FAILURES,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    apply_memory_limit,
+    install_shutdown_handlers,
+    preflight_disk,
+)
 from repro.workloads import STRONG_SCALING
 
 
@@ -47,6 +55,9 @@ def main(argv=None) -> int:
     parser.add_argument("--keep-going", action="store_true",
                         help="skip benchmarks whose runs fail; exit 1 "
                              "with a failure summary")
+    parser.add_argument("--retry-quarantined", action="store_true",
+                        help="re-attempt configs the per-config circuit "
+                             "breaker would skip (see results/failures/)")
     # Parsed tolerantly (warn + default on garbage), so no type=int here.
     parser.add_argument("--checkpoint-interval", default=None,
                         help="kernel boundaries between mid-run snapshots "
@@ -67,6 +78,9 @@ def main(argv=None) -> int:
                         help="stderr diagnostics format (default human)")
     args = parser.parse_args(argv)
     obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
+    coordinator = install_shutdown_handlers()
+    coordinator.reset()
+    apply_memory_limit()
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     defaults = ExecutionPolicy()
@@ -78,6 +92,7 @@ def main(argv=None) -> int:
         ),
         run_timeout=args.run_timeout,
         keep_going=args.keep_going,
+        retry_quarantined=args.retry_quarantined,
     )
     checkpoint = default_checkpoint_policy(
         None if args.no_cache else DEFAULT_CACHE,
@@ -91,55 +106,69 @@ def main(argv=None) -> int:
         None if args.no_cache else DEFAULT_CACHE, jobs=jobs, policy=policy,
         checkpoint=checkpoint,
     )
+    preflight_disk(
+        runner.store.root,
+        runner.manifest.root,
+        runner.checkpoint.root if runner.checkpoint else None,
+    )
     names = args.benchmarks or list(STRONG_SCALING)
     targets = [int(t) for t in args.targets.split(",")]
     scales = [int(s) for s in args.scales.split(",")]
 
-    runner.prefetch(
-        [
-            RunRequest("sim", STRONG_SCALING[abbr], size=n)
-            for abbr in names
-            for n in scales + targets
-        ]
-        + [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in names]
-    )
     per_method = {m: [] for m in METHOD_NAMES}
     failed = []
-    for abbr in names:
-        spec = STRONG_SCALING[abbr]
-        try:
-            sims = {n: runner.simulate(spec, n) for n in scales + targets}
-            curve = runner.miss_rate_curve(spec)
-        except ReproError as error:
-            if not args.keep_going:
-                raise
-            failed.append(abbr)
-            print(f"{abbr:6s} [skipped: {error}]")
-            continue
-        profile = ScaleModelProfile(
-            workload=abbr,
-            sizes=tuple(scales),
-            ipcs=tuple(sims[n].ipc for n in scales),
-            f_mem=sims[max(scales)].memory_stall_fraction,
-            curve=curve,
+    interrupted = None
+    try:
+        runner.prefetch(
+            [
+                RunRequest("sim", STRONG_SCALING[abbr], size=n)
+                for abbr in names
+                for n in scales + targets
+            ]
+            + [RunRequest("mrc", STRONG_SCALING[abbr]) for abbr in names]
         )
-        predictor = ScaleModelPredictor(profile)
-        row = [f"{abbr:6s} [{spec.scaling.value:12s}]"]
-        for t in targets:
-            actual = sims[t].ipc
-            errs = {}
-            for m in METHOD_NAMES:
-                if m == "scale-model":
-                    pred = predictor.predict(t).ipc
-                else:
-                    pred = make_predictor(m).fit(profile.sizes, profile.ipcs).predict(t)
-                errs[m] = abs(pred - actual) / actual
-                per_method[m].append(errs[m])
-            row.append(
-                f"T{t}: " + " ".join(f"{m[:4]}={100*errs[m]:5.1f}%" for m in METHOD_NAMES)
+        for abbr in names:
+            spec = STRONG_SCALING[abbr]
+            try:
+                sims = {n: runner.simulate(spec, n) for n in scales + targets}
+                curve = runner.miss_rate_curve(spec)
+            except ReproError as error:
+                if not args.keep_going:
+                    raise
+                failed.append(abbr)
+                print(f"{abbr:6s} [skipped: {error}]")
+                continue
+            profile = ScaleModelProfile(
+                workload=abbr,
+                sizes=tuple(scales),
+                ipcs=tuple(sims[n].ipc for n in scales),
+                f_mem=sims[max(scales)].memory_stall_fraction,
+                curve=curve,
             )
-        region = predictor._region_of(targets[-1]).value if curve else "?"
-        print("  ".join(row) + f"  region@{targets[-1]}={region}")
+            predictor = ScaleModelPredictor(profile)
+            row = [f"{abbr:6s} [{spec.scaling.value:12s}]"]
+            for t in targets:
+                actual = sims[t].ipc
+                errs = {}
+                for m in METHOD_NAMES:
+                    if m == "scale-model":
+                        pred = predictor.predict(t).ipc
+                    else:
+                        pred = make_predictor(m).fit(profile.sizes, profile.ipcs).predict(t)
+                    errs[m] = abs(pred - actual) / actual
+                    per_method[m].append(errs[m])
+                row.append(
+                    f"T{t}: " + " ".join(f"{m[:4]}={100*errs[m]:5.1f}%" for m in METHOD_NAMES)
+                )
+            region = predictor._region_of(targets[-1]).value if curve else "?"
+            print("  ".join(row) + f"  region@{targets[-1]}={region}")
+    except (ShutdownRequested, KeyboardInterrupt) as stop:
+        interrupted = stop
+        print(
+            f"interrupted: {stop} — completed results are saved; rerun "
+            f"the same command to resume (exit code {EXIT_INTERRUPTED})",
+            file=sys.stderr,
+        )
 
     scored = len(names) - len(failed)
     print("\n--- averages over", scored, "benchmarks x", len(targets), "targets")
@@ -148,12 +177,15 @@ def main(argv=None) -> int:
         if not errs:
             continue
         print(f"{m:12s} avg={100*sum(errs)/len(errs):6.1f}%  max={100*max(errs):6.1f}%")
+    runner.flush()
     print(runner.execution_health())
     obs.finalize(extra_metrics={"runner": runner.metrics})
+    if interrupted is not None:
+        return EXIT_INTERRUPTED
     if failed:
         print(f"completed with failures: {', '.join(failed)}", file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_FAILURES
+    return EXIT_OK
 
 
 if __name__ == "__main__":

@@ -38,8 +38,16 @@ from repro.analysis.runner import (
 )
 from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
 from repro.analysis.tables import render_percent
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ShutdownRequested
 from repro.obs import bootstrap
+from repro.resilience import (
+    EXIT_FAILURES,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    apply_memory_limit,
+    install_shutdown_handlers,
+    preflight_disk,
+)
 
 OUT_DIR = os.path.join("results", "experiments")
 
@@ -75,6 +83,11 @@ def main(argv=None) -> int:
         help="complete every experiment that can run when one fails; "
              "exit 1 with a failure summary instead of a traceback",
     )
+    parser.add_argument(
+        "--retry-quarantined", action="store_true",
+        help="re-attempt configs the per-config circuit breaker would "
+             "skip (see results/failures/)",
+    )
     # Parsed tolerantly (warn + default on garbage), so no type=int here.
     parser.add_argument(
         "--checkpoint-interval", default=None,
@@ -104,6 +117,9 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
+    coordinator = install_shutdown_handlers()
+    coordinator.reset()
+    apply_memory_limit()
     jobs = args.jobs if args.jobs is not None else default_jobs()
     defaults = ExecutionPolicy()
     policy = ExecutionPolicy(
@@ -114,6 +130,7 @@ def main(argv=None) -> int:
         ),
         run_timeout=args.run_timeout,
         keep_going=args.keep_going,
+        retry_quarantined=args.retry_quarantined,
     )
     checkpoint = default_checkpoint_policy(
         DEFAULT_CACHE,
@@ -124,17 +141,37 @@ def main(argv=None) -> int:
         root=args.checkpoint_dir,
     )
     runner = CachedRunner(jobs=jobs, policy=policy, checkpoint=checkpoint)
+    preflight_disk(
+        runner.store.root,
+        runner.manifest.root,
+        runner.checkpoint.root if runner.checkpoint else None,
+        OUT_DIR,
+    )
     # Monotonic: this clock feeds the duration report below, and the
     # wall clock can step (NTP) mid-sweep.
     t0 = time.monotonic()
 
     failed_steps = []
+    interrupted = []
 
     def step(label, fn):
         """Run one experiment step; with --keep-going a failure skips
-        just this step (recording it) instead of aborting the sweep."""
+        just this step (recording it) instead of aborting the sweep.
+        A graceful shutdown turns every later step into a no-op so the
+        end-of-sweep flush and summary still run before exit 75."""
+        if interrupted:
+            return None
         try:
             return fn()
+        except (ShutdownRequested, KeyboardInterrupt) as stop:
+            interrupted.append(stop)
+            print(
+                f"interrupted during {label}: {stop} — completed results "
+                "are saved; rerun the same command to resume "
+                f"(exit code {EXIT_INTERRUPTED})",
+                file=sys.stderr,
+            )
+            return None
         except ReproError as error:
             if not args.keep_going:
                 raise
@@ -262,11 +299,13 @@ def main(argv=None) -> int:
           f"entries={stats['entries']} jobs={jobs}")
     print(runner.execution_health())
     obs.finalize(extra_metrics={"runner": runner.metrics})
+    if interrupted:
+        return EXIT_INTERRUPTED
     if failed_steps:
         print(f"completed with failures: {', '.join(failed_steps)}",
               file=sys.stderr)
-        return 1
-    return 0
+        return EXIT_FAILURES
+    return EXIT_OK
 
 
 def write_experiments_md(classification, fig2, fig4a, fig4b, fig6, fig7,

@@ -23,6 +23,18 @@ the remaining experiments when one fails, exiting with a failure summary
 (and exit code 1) instead of a traceback.  Failed runs are recorded in
 ``results/failures/<benchmark>.jsonl`` with enough context to re-run.
 
+Interrupts are drains, not losses (``docs/ARCHITECTURE.md``
+§ "Resilience"): the first SIGINT/SIGTERM stops submitting runs, lets
+in-flight runs finish, flushes completed results and the failure
+manifest, and exits with the resumable code 75 — rerun the same command
+to resume from the cache.  A second signal force-quits (``128+signum``).
+A free-disk guard (``REPRO_MIN_FREE_MB``) pauses cache/checkpoint writes
+under pressure instead of crashing; ``REPRO_MAX_RSS`` caps per-process
+memory so a pathological run fails alone.  Configs that keep failing
+(``REPRO_BREAKER_THRESHOLD`` consecutive terminal failures on record)
+are skipped by later ``--keep-going`` invocations until
+``--retry-quarantined`` re-arms them.
+
 Long simulations checkpoint at kernel boundaries under
 ``results/checkpoints/`` and a retried run resumes from its latest valid
 snapshot instead of starting cold.  ``--checkpoint-interval N`` (or
@@ -54,8 +66,17 @@ from repro.analysis.runner import (
     default_jobs,
 )
 from repro.checkpoint import default_checkpoint_interval, parse_checkpoint_interval
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, ShutdownRequested
 from repro.obs import bootstrap, get_logger
+from repro.resilience import (
+    EXIT_ERROR,
+    EXIT_FAILURES,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    apply_memory_limit,
+    install_shutdown_handlers,
+    preflight_disk,
+)
 
 EXPERIMENTS = (
     "table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
@@ -89,6 +110,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--keep-going", action="store_true",
                         help="finish the remaining experiments when one "
                              "fails; exit 1 with a failure summary")
+    parser.add_argument("--retry-quarantined", action="store_true",
+                        help="re-attempt configs the per-config circuit "
+                             "breaker would skip (see results/failures/)")
     # Parsed tolerantly (warn + default on garbage), so no type=int here.
     parser.add_argument("--checkpoint-interval", default=None,
                         help="kernel boundaries between mid-run snapshots "
@@ -135,6 +159,7 @@ def build_policy(args) -> ExecutionPolicy:
         ),
         run_timeout=args.run_timeout,
         keep_going=args.keep_going,
+        retry_quarantined=args.retry_quarantined,
     )
 
 
@@ -187,12 +212,23 @@ def main(argv=None) -> int:
     # the runner constructs its store (shard loads are traced too).
     obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
     log = get_logger("cli")
+    # Resilience: first SIGINT/SIGTERM drains (exit 75, resumable),
+    # second force-quits; REPRO_MAX_RSS caps this process the same way
+    # the pool initializer caps the workers.
+    coordinator = install_shutdown_handlers()
+    coordinator.reset()
+    apply_memory_limit()
     jobs = args.jobs if args.jobs is not None else default_jobs()
     runner = CachedRunner(
         None if args.no_cache else args.cache,
         jobs=jobs,
         policy=build_policy(args),
         checkpoint=build_checkpoint(args),
+    )
+    preflight_disk(
+        runner.store.root,
+        runner.manifest.root,
+        runner.checkpoint.root if runner.checkpoint else None,
     )
     names = (
         ["table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6",
@@ -201,8 +237,10 @@ def main(argv=None) -> int:
         else [args.experiment]
     )
     failed = []
+    interrupted = None
     try:
         for name in names:
+            coordinator.check()
             try:
                 if name == "fig4" and args.experiment == "all":
                     for target in (64, 128):
@@ -222,9 +260,18 @@ def main(argv=None) -> int:
                     "error: %s failed (%s); continuing (--keep-going)",
                     name, error,
                 )
+    except (ShutdownRequested, KeyboardInterrupt) as stop:
+        # Partial progress is already durable (the execution layer merges
+        # before re-raising); tell the operator how to pick it back up.
+        interrupted = stop
+        log.error(
+            "interrupted: %s — completed results are saved; rerun the "
+            "same command to resume (exit code %d)",
+            stop, EXIT_INTERRUPTED,
+        )
     except ReproError as error:
         log.error("error: %s", error)
-        return 2
+        return EXIT_ERROR
     finally:
         runner.flush()
         stats = runner.stats()
@@ -239,10 +286,12 @@ def main(argv=None) -> int:
         )
         log.info("%s", runner.execution_health())
         obs.finalize(extra_metrics={"runner": runner.metrics})
+    if interrupted is not None:
+        return EXIT_INTERRUPTED
     if failed:
         log.error("completed with failures: %s", ", ".join(failed))
-        return 1
-    return 0
+        return EXIT_FAILURES
+    return EXIT_OK
 
 
 if __name__ == "__main__":

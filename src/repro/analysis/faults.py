@@ -28,6 +28,12 @@ Fault-injection grammar (comma-separated directives)::
     die-at-kernel:<prefix>:<k> kill the worker right after the checkpoint
                                at kernel boundary ``k`` becomes durable —
                                the crash window checkpoint/resume covers
+    enospc:<op>[:<n>]          raise OSError(ENOSPC) on the first n writes
+                               of that seam (default 1)
+    partial-write:<op>[:<n>]   persist a truncated prefix, then raise —
+                               a disk that filled mid-write (default 1)
+    slow-io:<op>[:<s>]         sleep s seconds before the write
+                               (default 0.05; fires on every write)
 
 ``die-at-kernel`` is armed through :func:`kernel_kill_hook` (wired into
 the checkpointer's post-save callback) rather than :func:`maybe_inject`:
@@ -35,10 +41,18 @@ the kill must land *after* a snapshot is durable, mid-run.  A resumed
 attempt restarts past boundary ``k``, so the directive fires at most
 once per run directory — exactly one crash, then recovery.
 
-A directive matches a run when ``<prefix>`` is a prefix of either the
-cache key (``sim|<digest>|<digest>``) or the human-readable pseudo-id
-``<kind>|<benchmark abbr>`` (e.g. ``sim|va``).  Prefixes therefore never
-contain ``:`` or ``,``.
+A run directive matches a run when ``<prefix>`` is a prefix of either
+the cache key (``sim|<digest>|<digest>``) or the human-readable
+pseudo-id ``<kind>|<benchmark abbr>`` (e.g. ``sim|va``).  Prefixes
+therefore never contain ``:`` or ``,``.
+
+The filesystem directives (``enospc``/``partial-write``/``slow-io``)
+target *write seams*, not runs: ``<op>`` prefix-matches one of
+:data:`IO_OPS` (``store``, ``checkpoint``, ``trace``, ``metrics``,
+``manifest``), the labels :mod:`repro.fsio` writers are called with.
+They are consumed through :func:`next_io_fault`; the fired-count
+bookkeeping is per process (pool workers count their own), and
+:func:`reset_io_faults` rewinds it between chaos phases.
 """
 
 from __future__ import annotations
@@ -51,6 +65,7 @@ import warnings
 from dataclasses import asdict, dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from repro import fsio
 from repro.exceptions import ReproError
 
 __all__ = [
@@ -60,12 +75,19 @@ __all__ = [
     "FailureManifest",
     "InjectedFaultError",
     "FAULT_INJECT_ENV",
+    "IO_OPS",
     "OK",
     "FAILED",
     "TIMEOUT",
+    "OOM",
+    "INTERRUPTED",
+    "SKIPPED",
     "parse_fault_plan",
     "maybe_inject",
     "kernel_kill_hook",
+    "next_io_fault",
+    "reset_io_faults",
+    "retryable",
 ]
 
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
@@ -74,10 +96,39 @@ FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 OK = "ok"
 FAILED = "failed"
 TIMEOUT = "timeout"
+#: MemoryError under the REPRO_MAX_RSS ceiling: never retried (the same
+#: allocation pattern would just OOM again, or worse, take the host).
+OOM = "oom"
+#: A graceful shutdown drained the run before/while it executed; the
+#: config is fine — a rerun picks it up from the cache as a miss.
+INTERRUPTED = "interrupted"
+#: The per-config circuit breaker skipped the run (see
+#: repro.resilience.CircuitBreaker); zero attempts were made.
+SKIPPED = "skipped"
+
+#: Statuses the failure manifest records (skipped runs are not
+#: re-recorded: they already have the entries that tripped the breaker).
+MANIFEST_STATUSES = frozenset((FAILED, TIMEOUT, OOM, INTERRUPTED))
+
+#: Write-seam labels the filesystem directives can target.
+IO_OPS = ("store", "checkpoint", "trace", "metrics", "manifest")
+
+_IO_ACTIONS = ("enospc", "partial-write", "slow-io")
+_RUN_ACTIONS = ("fail", "hang", "die", "die-at-kernel")
 
 _SHARD_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
 
 _DEFAULT_HANG_SECONDS = 3600.0
+
+
+def retryable(error: BaseException) -> bool:
+    """Whether the execution layer may re-run after this exception.
+
+    ``MemoryError`` is terminal: under the ``REPRO_MAX_RSS`` ceiling the
+    retry would make the same allocations and die the same death, and
+    without the ceiling a retry invites the OOM killer.
+    """
+    return not isinstance(error, MemoryError)
 
 
 class InjectedFaultError(ReproError):
@@ -96,6 +147,12 @@ class ExecutionPolicy:
     an :class:`repro.exceptions.ExecutionError`.  After
     ``max_pool_deaths`` ``BrokenProcessPool`` events the batch degrades
     to serial in-process execution for the remaining runs.
+
+    ``breaker_threshold`` (``None`` = ``REPRO_BREAKER_THRESHOLD`` or 3,
+    ``0`` disables) arms the per-config circuit breaker on
+    ``keep_going`` batches: configs with that many consecutive terminal
+    failures in the manifest are skipped, not re-attempted, until
+    ``retry_quarantined`` (``--retry-quarantined``) forces a re-run.
     """
 
     max_retries: int = 2
@@ -103,6 +160,8 @@ class ExecutionPolicy:
     keep_going: bool = False
     backoff_base: float = 0.05
     max_pool_deaths: int = 2
+    retry_quarantined: bool = False
+    breaker_threshold: Optional[int] = None
 
     def backoff(self, attempt: int) -> float:
         """Exponential backoff before re-running a failed ``attempt``."""
@@ -164,6 +223,17 @@ class BatchReport:
         return tuple(o for o in self.outcomes if not o.ok)
 
     @property
+    def manifest_outcomes(self) -> Tuple[RunOutcome, ...]:
+        """The failures the manifest records (skips are not re-recorded)."""
+        return tuple(
+            o for o in self.outcomes if o.status in MANIFEST_STATUSES
+        )
+
+    @property
+    def interrupted(self) -> Tuple[RunOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.status == INTERRUPTED)
+
+    @property
     def retries(self) -> int:
         return sum(o.attempts - 1 for o in self.outcomes)
 
@@ -180,6 +250,11 @@ class BatchReport:
             "ok": self.executed,
             "failed": sum(1 for o in self.outcomes if o.status == FAILED),
             "timeout": sum(1 for o in self.outcomes if o.status == TIMEOUT),
+            "oom": sum(1 for o in self.outcomes if o.status == OOM),
+            "interrupted": sum(
+                1 for o in self.outcomes if o.status == INTERRUPTED
+            ),
+            "skipped": sum(1 for o in self.outcomes if o.status == SKIPPED),
             "retries": self.retries,
             "pool_deaths": self.pool_deaths,
             "resumed": self.checkpoints_resumed,
@@ -191,6 +266,14 @@ class BatchReport:
             "execution: {ok} ok, {failed} failed, {timeout} timed out, "
             "{retries} retries, {pool_deaths} pool deaths".format(**counts)
         )
+        # Resilience statuses only appear when present, so the wording
+        # scripts and tests grep stays byte-identical on healthy runs.
+        if counts["oom"]:
+            text += f", {counts['oom']} out of memory"
+        if counts["interrupted"]:
+            text += f", {counts['interrupted']} interrupted"
+        if counts["skipped"]:
+            text += f", {counts['skipped']} skipped (circuit breaker)"
         if self.checkpoints_resumed:
             text += (
                 f", {self.checkpoints_resumed} resumed from checkpoints "
@@ -222,8 +305,11 @@ class FailureManifest:
     def append(self, outcomes: Iterable[RunOutcome]) -> int:
         """Append one record per outcome; returns the number written.
 
-        Manifest I/O must never mask the failure it is recording, so
-        filesystem errors degrade to a warning.
+        Outcomes are recorded with their status as-is — ``ok`` records
+        exist too: they close a key's failure streak so the circuit
+        breaker (:class:`repro.resilience.CircuitBreaker`) re-admits a
+        config that recovered.  Manifest I/O must never mask the failure
+        it is recording, so filesystem errors degrade to a warning.
         """
         if not self.root:
             return 0
@@ -241,8 +327,11 @@ class FailureManifest:
         try:
             os.makedirs(self.root, exist_ok=True)
             for shard, lines in sorted(by_shard.items()):
-                with open(self.path_for(shard), "a") as fh:
-                    fh.write("".join(line + "\n" for line in lines))
+                fsio.append_text(
+                    self.path_for(shard),
+                    "".join(line + "\n" for line in lines),
+                    op="manifest",
+                )
                 written += len(lines)
         except OSError as error:
             warnings.warn(
@@ -255,9 +344,9 @@ class FailureManifest:
 
 @dataclass(frozen=True)
 class _FaultDirective:
-    action: str  # fail | hang | die
+    action: str  # fail | hang | die | die-at-kernel | enospc | partial-write | slow-io
     prefix: str
-    arg: Optional[float]  # fail: attempt bound; hang: sleep seconds
+    arg: Optional[float]  # fail: attempt bound; hang/slow-io: seconds; io: fire count
 
 
 def parse_fault_plan(plan: str) -> Tuple[_FaultDirective, ...]:
@@ -283,7 +372,7 @@ def parse_fault_plan(plan: str) -> Tuple[_FaultDirective, ...]:
                 f"fault injection: malformed directive {part!r} "
                 "(expected action:prefix[:arg])"
             )
-        if action not in ("fail", "hang", "die", "die-at-kernel"):
+        if action not in _RUN_ACTIONS + _IO_ACTIONS:
             raise ReproError(
                 f"fault injection: unknown action {action!r} in {part!r}"
             )
@@ -318,6 +407,9 @@ def maybe_inject(
         return
     targets = (key, f"{kind}|{shard}")
     for directive in parse_fault_plan(plan):
+        if directive.action in _IO_ACTIONS:
+            # Filesystem seams, consumed through next_io_fault.
+            continue
         if not any(t.startswith(directive.prefix) for t in targets):
             continue
         if directive.action == "die-at-kernel":
@@ -385,3 +477,54 @@ def kernel_kill_hook(
         )
 
     return hook
+
+
+# --- filesystem fault directives -------------------------------------------------
+#
+# Fired-count bookkeeping for enospc/partial-write: per process, keyed
+# by (action, prefix).  Pool workers inherit the *plan* through the
+# environment but count independently — checkpoint writes happen inside
+# workers, store/manifest writes in the coordinator, so each seam's
+# budget is spent where the seam lives.
+
+_IO_FIRED: Dict[Tuple[str, str], int] = {}
+
+_DEFAULT_SLOW_IO_SECONDS = 0.05
+
+
+def reset_io_faults() -> None:
+    """Rewind the fired-count bookkeeping (chaos phases, tests)."""
+    _IO_FIRED.clear()
+
+
+def next_io_fault(op: str) -> Optional[Tuple[str, Optional[float]]]:
+    """The io directive to apply to one write on seam ``op``, or ``None``.
+
+    Called by the :mod:`repro.fsio` writers with their seam label.
+    ``slow-io`` matches always (arg = sleep seconds); ``enospc`` and
+    ``partial-write`` consume one firing from their budget (arg = how
+    many writes to break, default 1) and go quiet afterwards — so a
+    retried flush models a disk that recovered.  First matching
+    directive wins.
+    """
+    plan = os.environ.get(FAULT_INJECT_ENV)
+    if not plan:
+        return None
+    for directive in parse_fault_plan(plan):
+        if directive.action not in _IO_ACTIONS:
+            continue
+        if not op.startswith(directive.prefix):
+            continue
+        if directive.action == "slow-io":
+            return (
+                "slow-io",
+                directive.arg if directive.arg is not None
+                else _DEFAULT_SLOW_IO_SECONDS,
+            )
+        budget = int(directive.arg) if directive.arg is not None else 1
+        fired_key = (directive.action, directive.prefix)
+        if _IO_FIRED.get(fired_key, 0) >= budget:
+            continue
+        _IO_FIRED[fired_key] = _IO_FIRED.get(fired_key, 0) + 1
+        return (directive.action, directive.arg)
+    return None

@@ -21,6 +21,18 @@ Faults are isolated per run, never per batch:
   ultimately raises :class:`repro.exceptions.ExecutionError` — and every
   casualty lands in the append-only failure manifest
   (``results/failures/<shard>.jsonl``) with enough context to re-run.
+* A graceful shutdown (SIGINT/SIGTERM through
+  :mod:`repro.resilience`, or a bare ``KeyboardInterrupt``) *drains*:
+  nothing new starts, in-flight runs finish and merge, undone runs are
+  recorded ``interrupted``, and only then does the batch re-raise so
+  the CLI can exit resumable.
+* ``MemoryError`` under the ``REPRO_MAX_RSS`` ceiling is terminal for
+  that run (status ``oom``, never retried); the pool initializer
+  applies the ceiling per worker and ignores SIGINT so the coordinator
+  owns the drain.
+* On ``keep_going`` batches a per-config circuit breaker skips configs
+  whose manifest shows a streak of terminal failures
+  (``--retry-quarantined`` re-arms them; a success closes the streak).
 
 Serial execution of the same batch produces identical payloads for every
 deterministic field; only ``wall_time_s`` (a host-time measurement)
@@ -32,6 +44,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import os
+import signal
 import time
 import traceback
 import warnings
@@ -44,7 +57,10 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.analysis import runner as _runner
 from repro.analysis.faults import (
     FAILED,
+    INTERRUPTED,
     OK,
+    OOM,
+    SKIPPED,
     TIMEOUT,
     BatchReport,
     ExecutionPolicy,
@@ -52,12 +68,14 @@ from repro.analysis.faults import (
     RunOutcome,
     kernel_kill_hook,
     maybe_inject,
+    retryable,
 )
 from repro.analysis.simcache import ResultStore
 from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
-from repro.exceptions import ExecutionError, ReproError
+from repro.exceptions import ExecutionError, ReproError, ShutdownRequested
 from repro.obs.profile_hooks import ensure_worker
 from repro.obs.tracing import get_tracer
+from repro.resilience import CircuitBreaker, apply_memory_limit, get_coordinator
 from repro.workloads.spec import BenchmarkSpec
 
 __all__ = ["RunRequest", "ParallelRunner", "execute_request", "execute_attempt"]
@@ -186,6 +204,28 @@ def execute_attempt(
             tracer.flush_spill()
 
 
+def _worker_init() -> None:
+    """Pool-worker bootstrap, run once per worker process.
+
+    Workers share the foreground process group, so an operator Ctrl-C
+    delivers SIGINT to every worker too — ignored here, because the
+    *coordinator* owns the drain: in-flight runs must finish and have
+    their results collected, not die mid-computation.  SIGTERM is reset
+    to its *default* — forked workers inherit the coordinator's drain
+    handler from the parent, which would otherwise swallow the SIGTERM
+    that :func:`_shutdown_pool` uses to put down hung workers.  The
+    optional ``REPRO_MAX_RSS`` ceiling is applied per worker for the
+    same reason: one pathological run should raise :class:`MemoryError`
+    in its own process, not invite the OOM killer.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    except (ValueError, OSError):
+        pass
+    apply_memory_limit()
+
+
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down without waiting on hung or dead workers.
 
@@ -294,6 +334,13 @@ class ParallelRunner:
         failure propagates; failed runs are appended to the failure
         manifest and — unless ``policy.keep_going`` — reported as one
         :class:`repro.exceptions.ExecutionError` at the end.
+
+        A graceful shutdown (:class:`repro.exceptions.ShutdownRequested`
+        from the coordinator, or a bare :class:`KeyboardInterrupt`)
+        honours the same contract: completed results merge, unfinished
+        runs land in the manifest as ``interrupted``, and the exception
+        re-raises only afterwards — so the CLI boundary can exit with
+        the resumable code without losing anything.
         """
         unique: Dict[str, RunRequest] = {}
         for request in requests:
@@ -315,17 +362,32 @@ class ParallelRunner:
         outcomes: Dict[str, RunOutcome] = {}
         executed: List[Tuple[str, str, dict]] = []
         state = _BatchState()
+        pending, breaker = self._apply_breaker(pending, outcomes)
+        shutdown: Optional[BaseException] = None
         try:
-            if self.jobs <= 1 or len(pending) == 1:
-                self._run_serial(
-                    [(request, 1) for request in pending], outcomes, executed
-                )
-            else:
-                self._run_pool(pending, outcomes, executed, state)
+            if pending:
+                if self.jobs <= 1 or len(pending) == 1:
+                    self._run_serial(
+                        [(request, 1) for request in pending],
+                        outcomes, executed,
+                    )
+                else:
+                    self._run_pool(pending, outcomes, executed, state)
+        except (ShutdownRequested, KeyboardInterrupt) as exc:
+            # Partial-progress contract for interrupts too: fall through
+            # to the merge/manifest below, then re-raise.
+            shutdown = exc
         finally:
             # Whatever completed must reach the store even if the
             # coordination loop itself blew up.
             self._merge(executed)
+        if shutdown is not None:
+            for request in pending:
+                if request.key not in outcomes:
+                    outcomes[request.key] = _outcome(
+                        request, INTERRUPTED, 0,
+                        "graceful shutdown: run was never started",
+                    )
         report = BatchReport(
             outcomes=tuple(outcomes[key] for key in sorted(outcomes)),
             pool_deaths=state.pool_deaths,
@@ -335,21 +397,75 @@ class ParallelRunner:
         for outcome in report.outcomes:
             if outcome.resumed:
                 self.store.record_resume(outcome.cycles_saved)
+        to_record = list(report.manifest_outcomes)
+        if breaker.enabled:
+            # A success after recorded failures appends an ``ok`` record
+            # so the breaker's streak for that config closes.
+            to_record.extend(
+                outcome
+                for outcome in report.outcomes
+                if outcome.ok and breaker.consecutive_failures(outcome.key) > 0
+            )
+        if to_record:
+            self.manifest.append(to_record)
+        if shutdown is not None:
+            raise shutdown
         failures = report.failures
-        if failures:
-            self.manifest.append(failures)
-            if not self.policy.keep_going:
-                where = (
-                    f"; failure manifest: {self.manifest.root}"
-                    if self.manifest.root
-                    else ""
-                )
-                raise ExecutionError(
-                    f"{len(failures)} of {len(pending)} runs failed "
-                    f"({report.summary()}); {report.executed} completed "
-                    f"results were saved{where}"
-                )
+        if failures and not self.policy.keep_going:
+            where = (
+                f"; failure manifest: {self.manifest.root}"
+                if self.manifest.root
+                else ""
+            )
+            raise ExecutionError(
+                f"{len(failures)} of {len(pending)} runs failed "
+                f"({report.summary()}); {report.executed} completed "
+                f"results were saved{where}"
+            )
         return report
+
+    def _apply_breaker(
+        self,
+        pending: List[RunRequest],
+        outcomes: Dict[str, RunOutcome],
+    ) -> Tuple[List[RunRequest], CircuitBreaker]:
+        """Drop breaker-tripped configs from a ``keep_going`` batch.
+
+        Tripped runs get a ``skipped`` outcome (zero attempts, not
+        re-recorded in the manifest).  Only ``keep_going`` batches skip:
+        a fail-fast batch is the operator explicitly asking for the
+        error.  ``retry_quarantined`` forces every config through.
+        """
+        breaker = CircuitBreaker(
+            self.manifest.root, self.policy.breaker_threshold
+        )
+        if (
+            not self.policy.keep_going
+            or self.policy.retry_quarantined
+            or not breaker.enabled
+        ):
+            return pending, breaker
+        kept: List[RunRequest] = []
+        for request in pending:
+            if breaker.tripped(request.key):
+                outcomes[request.key] = _outcome(
+                    request, SKIPPED, 0,
+                    "circuit breaker open: "
+                    f"{breaker.consecutive_failures(request.key)} "
+                    "consecutive terminal failures in "
+                    f"{self.manifest.root}; rerun with --retry-quarantined "
+                    "to retry this config",
+                )
+            else:
+                kept.append(request)
+        skipped = len(pending) - len(kept)
+        if skipped:
+            warnings.warn(
+                f"circuit breaker: skipping {skipped} config(s) with "
+                f">= {breaker.threshold} consecutive terminal failures "
+                "on record; rerun with --retry-quarantined to retry them"
+            )
+        return kept, breaker
 
     # --- execution paths -------------------------------------------------------
     def _run_serial(
@@ -362,17 +478,28 @@ class ParallelRunner:
 
         Per-run timeouts cannot be enforced from within the executing
         process, so ``run_timeout`` only applies to pool execution.
+        Between runs the shutdown coordinator is consulted: a requested
+        drain marks the not-yet-started remainder ``interrupted`` and
+        raises, leaving completed results for the caller to merge.
         """
         policy = self.policy
-        for request, attempt in items:
+        coordinator = get_coordinator()
+        for index, (request, attempt) in enumerate(items):
+            if coordinator.requested:
+                for late_request, late_attempt in items[index:]:
+                    outcomes[late_request.key] = _outcome(
+                        late_request, INTERRUPTED, late_attempt - 1,
+                        "graceful shutdown: run was never started",
+                    )
+                coordinator.check()
             while True:
                 try:
                     key, shard, payload, meta = execute_attempt(
                         request, attempt, allow_exit=False,
                         checkpoint=self.checkpoint,
                     )
-                except Exception:
-                    if attempt <= policy.max_retries:
+                except Exception as error:
+                    if retryable(error) and attempt <= policy.max_retries:
                         tracer = get_tracer()
                         if tracer.enabled:
                             tracer.instant(
@@ -382,8 +509,9 @@ class ParallelRunner:
                         time.sleep(policy.backoff(attempt))
                         attempt += 1
                         continue
+                    status = OOM if isinstance(error, MemoryError) else FAILED
                     outcomes[request.key] = _outcome(
-                        request, FAILED, attempt, traceback.format_exc()
+                        request, status, attempt, traceback.format_exc()
                     )
                     break
                 executed.append((key, shard, payload))
@@ -400,6 +528,7 @@ class ParallelRunner:
         state: _BatchState,
     ) -> None:
         policy = self.policy
+        coordinator = get_coordinator()
         workers = min(self.jobs, len(pending))
         queue = deque((request, 1) for request in pending)
         # Min-heap of (ready_time, seq, request, attempt); seq breaks
@@ -407,9 +536,14 @@ class ParallelRunner:
         retries: List[Tuple[float, int, RunRequest, int]] = []
         seq = itertools.count()
         inflight: Dict = {}  # future -> (request, attempt, deadline)
-        pool = ProcessPoolExecutor(max_workers=workers)
+        pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=_worker_init
+        )
         try:
             while queue or retries or inflight:
+                if coordinator.requested:
+                    self._drain(inflight, queue, retries, outcomes, executed)
+                    coordinator.check()  # raises ShutdownRequested
                 now = time.monotonic()
                 while retries and retries[0][0] <= now:
                     _, _, request, attempt = heapq.heappop(retries)
@@ -463,8 +597,11 @@ class ParallelRunner:
                             # died); resubmit at the same attempt number.
                             queue.append((request, attempt))
                             broken = True
-                        except Exception:
-                            if attempt <= policy.max_retries:
+                        except Exception as error:
+                            if (
+                                retryable(error)
+                                and attempt <= policy.max_retries
+                            ):
                                 tracer = get_tracer()
                                 if tracer.enabled:
                                     tracer.instant(
@@ -485,8 +622,13 @@ class ParallelRunner:
                                     ),
                                 )
                             else:
+                                status = (
+                                    OOM
+                                    if isinstance(error, MemoryError)
+                                    else FAILED
+                                )
                                 outcomes[request.key] = _outcome(
-                                    request, FAILED, attempt,
+                                    request, status, attempt,
                                     traceback.format_exc(),
                                 )
                         else:
@@ -529,7 +671,9 @@ class ParallelRunner:
                         retries.clear()
                         self._run_serial(remaining, outcomes, executed)
                         return
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers, initializer=_worker_init
+                    )
                     continue
                 # Per-run timeout sweep: abandon expired runs, recycle the
                 # pool (a hung worker keeps its slot forever otherwise)
@@ -560,9 +704,75 @@ class ParallelRunner:
                         queue.append((request, attempt))
                     inflight.clear()
                     _shutdown_pool(pool)
-                    pool = ProcessPoolExecutor(max_workers=workers)
+                    pool = ProcessPoolExecutor(
+                        max_workers=workers, initializer=_worker_init
+                    )
         finally:
             _shutdown_pool(pool)
+
+    def _drain(
+        self,
+        inflight: Dict,
+        queue,
+        retries: List,
+        outcomes: Dict[str, RunOutcome],
+        executed: List[Tuple[str, str, dict]],
+    ) -> None:
+        """First-signal drain: collect in-flight runs, park the rest.
+
+        Nothing new is submitted.  Runs already executing are waited for
+        (bounded by their own timeout deadlines, unbounded otherwise — a
+        second signal force-quits) and their results collected; runs
+        still queued or awaiting a retry slot are marked ``interrupted``
+        with zero new attempts, so the manifest lists exactly what a
+        rerun needs to pick up.
+        """
+        for request, attempt in queue:
+            outcomes[request.key] = _outcome(
+                request, INTERRUPTED, attempt - 1,
+                "graceful shutdown: run was never started",
+            )
+        for _, _, request, attempt in retries:
+            outcomes[request.key] = _outcome(
+                request, INTERRUPTED, attempt - 1,
+                "graceful shutdown: retry was never started",
+            )
+        queue.clear()
+        retries.clear()
+        if not inflight:
+            return
+        deadline = max(d for _, _, d in inflight.values())
+        timeout = (
+            None
+            if deadline == float("inf")
+            else max(0.01, deadline - time.monotonic())
+        )
+        done, not_done = wait(set(inflight), timeout=timeout)
+        for future in done:
+            request, attempt, _ = inflight.pop(future)
+            try:
+                key, shard, payload, meta = future.result()
+            except BaseException:
+                # No retries during a drain; a worker casualty here says
+                # nothing about the config, so record it as interrupted.
+                outcomes[request.key] = _outcome(
+                    request, INTERRUPTED, attempt,
+                    "graceful shutdown: attempt failed while draining:\n"
+                    + traceback.format_exc(),
+                )
+            else:
+                executed.append((key, shard, payload))
+                outcomes[request.key] = _outcome(
+                    request, OK, attempt, meta=meta
+                )
+        for future in not_done:
+            request, attempt, _ = inflight.pop(future)
+            future.cancel()
+            outcomes[request.key] = _outcome(
+                request, INTERRUPTED, attempt,
+                "graceful shutdown: run abandoned at its timeout deadline",
+            )
+        inflight.clear()
 
     # --- merging ---------------------------------------------------------------
     def _merge(self, executed: List[Tuple[str, str, dict]]) -> None:

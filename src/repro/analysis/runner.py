@@ -32,19 +32,26 @@ from __future__ import annotations
 
 import hashlib
 import os
+import traceback
 import warnings
 from dataclasses import MISSING, asdict, fields
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.analysis.faults import (
+    FAILED,
+    OK,
+    OOM,
     BatchReport,
     ExecutionPolicy,
+    FailureManifest,
+    RunOutcome,
     kernel_kill_hook,
     maybe_inject,
 )
 from repro.analysis.simcache import ResultStore
 from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
-from repro.exceptions import ReproError
+from repro.exceptions import ExecutionError, ReproError
+from repro.resilience import CircuitBreaker, get_coordinator
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
@@ -311,6 +318,16 @@ class CachedRunner:
             checkpoint = default_checkpoint_policy(cache_path)
         self.checkpoint = checkpoint
         self.last_report: Optional[BatchReport] = None
+        # The lazy in-process paths share the pool path's failure
+        # manifest (and therefore its circuit breaker): serial runs must
+        # feed the same per-config failure accounting as parallel ones.
+        manifest_root = (
+            os.path.join(os.path.dirname(self.store.root) or ".", "failures")
+            if self.store.root
+            else None
+        )
+        self.manifest = FailureManifest(manifest_root)
+        self._breaker: Optional[CircuitBreaker] = None
         # Per-instance registry: tests build several runners per process,
         # so hit/miss/execution telemetry must not conflate through the
         # process-wide registry.  Exporters merge it in with a ``runner.``
@@ -390,6 +407,70 @@ class CachedRunner:
         for name, value in result.counters().items():
             self.metrics.inc(f"sim.{name}", value)
 
+    # --- resilience (lazy in-process paths) ------------------------------------
+    def _lazy_breaker(self) -> CircuitBreaker:
+        if self._breaker is None:
+            policy = self.policy or ExecutionPolicy()
+            self._breaker = CircuitBreaker(
+                self.manifest.root, policy.breaker_threshold
+            )
+        return self._breaker
+
+    def _run_guarded(
+        self,
+        key: str,
+        kind: str,
+        shard: str,
+        compute: Callable[[], object],
+        size: int = 0,
+        work_scale: float = 1.0,
+        seed: int = 0,
+        method: str = "stack",
+    ):
+        """Breaker gate + manifest accounting around one lazy run.
+
+        Mirrors the pool path's contract for serial execution: a tripped
+        config on a ``keep_going`` policy raises immediately (the CLI's
+        keep-going handler skips it without burning a compute attempt),
+        a failed compute lands in the failure manifest before the
+        exception propagates, and a success after recorded failures
+        appends the ``ok`` record that closes the breaker streak.
+        """
+        # Serial campaigns drain at run granularity: a requested
+        # shutdown stops before the next compute starts (everything
+        # completed so far is already flushed, flush_every=1).
+        get_coordinator().check()
+        policy = self.policy or ExecutionPolicy()
+        breaker = self._lazy_breaker()
+        if (
+            policy.keep_going
+            and not policy.retry_quarantined
+            and breaker.tripped(key)
+        ):
+            raise ExecutionError(
+                f"circuit breaker open for {kind}|{shard}: "
+                f"{breaker.consecutive_failures(key)} consecutive terminal "
+                f"failures in {self.manifest.root}; rerun with "
+                "--retry-quarantined to retry this config"
+            )
+
+        def outcome(status: str, error: Optional[str] = None) -> RunOutcome:
+            return RunOutcome(
+                key=key, kind=kind, shard=shard, status=status,
+                attempts=1, error=error, size=size,
+                work_scale=work_scale, seed=seed, method=method,
+            )
+
+        try:
+            result = compute()
+        except Exception as error:
+            status = OOM if isinstance(error, MemoryError) else FAILED
+            self.manifest.append([outcome(status, traceback.format_exc())])
+            raise
+        if breaker.enabled and breaker.consecutive_failures(key) > 0:
+            self.manifest.append([outcome(OK)])
+        return result
+
     # --- timing runs ------------------------------------------------------------
     def simulate(
         self,
@@ -407,17 +488,27 @@ class CachedRunner:
                 return result
             self.store.record_schema_mismatch(key)
         self._record_miss("sim")
-        # The lazy path is one in-process attempt; the fault-injection
-        # hook arms here too so REPRO_FAULT_INJECT exercises the CLIs'
-        # keep-going handling end to end, not just the pool workers.
-        maybe_inject(key, "sim", spec.abbr, attempt=1, allow_exit=False)
-        ckpt = self._checkpointer_for(key, "sim", spec.abbr)
-        with get_tracer().span(f"run.sim:{spec.abbr}", cat="run", sms=num_sms):
-            result = compute_sim(
-                spec, num_sms, work_scale, seed, checkpointer=ckpt
-            )
-        if ckpt is not None and ckpt.resumed_from is not None:
-            self.store.record_resume(ckpt.cycles_saved)
+
+        def compute() -> SimulationResult:
+            # The lazy path is one in-process attempt; the fault-injection
+            # hook arms here too so REPRO_FAULT_INJECT exercises the CLIs'
+            # keep-going handling end to end, not just the pool workers.
+            maybe_inject(key, "sim", spec.abbr, attempt=1, allow_exit=False)
+            ckpt = self._checkpointer_for(key, "sim", spec.abbr)
+            with get_tracer().span(
+                f"run.sim:{spec.abbr}", cat="run", sms=num_sms
+            ):
+                result = compute_sim(
+                    spec, num_sms, work_scale, seed, checkpointer=ckpt
+                )
+            if ckpt is not None and ckpt.resumed_from is not None:
+                self.store.record_resume(ckpt.cycles_saved)
+            return result
+
+        result = self._run_guarded(
+            key, "sim", spec.abbr, compute,
+            size=num_sms, work_scale=work_scale, seed=seed,
+        )
         self._absorb_result(result)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
@@ -438,16 +529,24 @@ class CachedRunner:
                 return result
             self.store.record_schema_mismatch(key)
         self._record_miss("mcm")
-        maybe_inject(key, "mcm", spec.abbr, attempt=1, allow_exit=False)
-        ckpt = self._checkpointer_for(key, "mcm", spec.abbr)
-        with get_tracer().span(
-            f"run.mcm:{spec.abbr}", cat="run", chiplets=num_chiplets
-        ):
-            result = compute_mcm(
-                spec, num_chiplets, work_scale, seed, checkpointer=ckpt
-            )
-        if ckpt is not None and ckpt.resumed_from is not None:
-            self.store.record_resume(ckpt.cycles_saved)
+
+        def compute() -> SimulationResult:
+            maybe_inject(key, "mcm", spec.abbr, attempt=1, allow_exit=False)
+            ckpt = self._checkpointer_for(key, "mcm", spec.abbr)
+            with get_tracer().span(
+                f"run.mcm:{spec.abbr}", cat="run", chiplets=num_chiplets
+            ):
+                result = compute_mcm(
+                    spec, num_chiplets, work_scale, seed, checkpointer=ckpt
+                )
+            if ckpt is not None and ckpt.resumed_from is not None:
+                self.store.record_resume(ckpt.cycles_saved)
+            return result
+
+        result = self._run_guarded(
+            key, "mcm", spec.abbr, compute,
+            size=num_chiplets, work_scale=work_scale, seed=seed,
+        )
         self._absorb_result(result)
         self.store.put(key, asdict(result), shard=spec.abbr)
         return result
@@ -469,11 +568,18 @@ class CachedRunner:
                 return curve
             self.store.record_schema_mismatch(key)
         self._record_miss("mrc")
-        maybe_inject(key, "mrc", spec.abbr, attempt=1, allow_exit=False)
-        with get_tracer().span(
-            f"run.mrc:{spec.abbr}", cat="run", method=method
-        ):
-            curve = compute_mrc(spec, work_scale, method, seed)
+
+        def compute() -> MissRateCurve:
+            maybe_inject(key, "mrc", spec.abbr, attempt=1, allow_exit=False)
+            with get_tracer().span(
+                f"run.mrc:{spec.abbr}", cat="run", method=method
+            ):
+                return compute_mrc(spec, work_scale, method, seed)
+
+        curve = self._run_guarded(
+            key, "mrc", spec.abbr, compute,
+            work_scale=work_scale, seed=seed, method=method,
+        )
         self.store.put(key, curve_payload(curve), shard=spec.abbr)
         return curve
 
@@ -482,7 +588,10 @@ class CachedRunner:
         """Execution-outcome counters in their historical ``exec_*`` keys."""
         return {
             f"exec_{status}": self.metrics.counter(f"exec.{status}").value
-            for status in ("ok", "failed", "timeout", "retries", "pool_deaths")
+            for status in (
+                "ok", "failed", "timeout", "retries", "pool_deaths",
+                "oom", "interrupted", "skipped",
+            )
         }
 
     def stats(self) -> Dict[str, int]:
@@ -502,11 +611,20 @@ class CachedRunner:
         predates the registry and is kept stable for scripts and tests
         that grep it.
         """
+        counts = self._exec_counts()
         text = (
             "execution: {exec_ok} ok, {exec_failed} failed, "
             "{exec_timeout} timed out, {exec_retries} retries, "
-            "{exec_pool_deaths} pool deaths".format(**self._exec_counts())
+            "{exec_pool_deaths} pool deaths".format(**counts)
         )
+        # Resilience statuses only appear when present, keeping the
+        # baseline wording byte-identical on healthy runs.
+        if counts["exec_oom"]:
+            text += f", {counts['exec_oom']} out of memory"
+        if counts["exec_interrupted"]:
+            text += f", {counts['exec_interrupted']} interrupted"
+        if counts["exec_skipped"]:
+            text += f", {counts['exec_skipped']} skipped (circuit breaker)"
         store = self.store.stats()
         resumed = store.get("checkpoints_resumed", 0)
         if resumed:

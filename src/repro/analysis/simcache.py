@@ -18,6 +18,13 @@ Durability rules:
   original file moves to ``<root>/quarantine/`` and the salvaged records
   are rewritten atomically (tmp + rename), so the corruption never
   crashes a run and never survives to the next load.
+* **Appends are durable and failure-tolerant.**  Writes go through
+  :mod:`repro.fsio` (flush + fsync, ``REPRO_NO_FSYNC=1`` to skip), and a
+  failed append — ``ENOSPC``, a partial write, a paused disk guard —
+  keeps the records *pending* instead of raising: computation continues
+  from memory and the next flush (e.g. after space recovers) retries.
+  A shard whose append failed mid-line gets a newline guard first, so a
+  torn record can never concatenate with the next one.
 * **Legacy import.** A pre-existing single-file ``simcache.json`` is
   imported on load (entries the shards do not already have); a truncated
   or corrupt legacy file degrades to a warning, never a crash.
@@ -35,8 +42,10 @@ import re
 import warnings
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import fsio
 from repro.obs.metrics import CounterBag, get_registry
 from repro.obs.tracing import get_tracer
+from repro.resilience import get_disk_guard
 
 __all__ = ["ResultStore", "DEFAULT_STORE_ROOT", "LEGACY_CACHE_FILE"]
 
@@ -92,7 +101,14 @@ class ResultStore:
             "legacy_corrupt": 0,
             "checkpoints_resumed": 0,
             "cycles_saved": 0.0,
+            "skipped_flushes": 0,
+            "write_errors": 0,
         })
+        # Shards whose last append failed mid-write: the file may end
+        # with a torn line, so the next successful append leads with a
+        # newline (blank lines are skipped by the loader).
+        self._dirty_shards: set = set()
+        self._warned_write_failure = False
         if self.root:
             self._load_shards()
         if self.legacy_path:
@@ -148,24 +164,57 @@ class ResultStore:
         Records for one shard go out in a single ``write()``, so a crash
         mid-flush can only truncate the last line of one shard — which
         the tolerant loader skips on the next run.
+
+        A failed append (``ENOSPC``, partial write) or a low-disk verdict
+        from the guard keeps the affected records *pending*: in-memory
+        results stay queryable and the next flush retries, so transient
+        pressure costs durability only until space recovers.
         """
         if not self._pending or not self.root:
             self._pending.clear()
             return 0
+        if not get_disk_guard().ok(self.root):
+            # Low disk: keep computing from memory, skip persistence.
+            self._stats["skipped_flushes"] += 1
+            return 0
         os.makedirs(self.root, exist_ok=True)
-        by_shard: Dict[str, List[str]] = {}
-        for shard, key, payload in self._pending:
-            line = json.dumps({"key": key, "payload": payload})
-            by_shard.setdefault(shard, []).append(line)
+        by_shard: Dict[str, List[Tuple[str, str, dict]]] = {}
+        for record in self._pending:
+            by_shard.setdefault(record[0], []).append(record)
         written = 0
-        for shard, lines in sorted(by_shard.items()):
+        remaining: List[Tuple[str, str, dict]] = []
+        for shard, records in sorted(by_shard.items()):
             path = os.path.join(self.root, _shard_filename(shard))
-            with open(path, "a") as fh:
-                fh.write("".join(line + "\n" for line in lines))
-            written += len(lines)
-        self._pending.clear()
-        self._stats["flushes"] += 1
-        self._stats["appended_records"] += written
+            text = "".join(
+                json.dumps({"key": key, "payload": payload}) + "\n"
+                for _, key, payload in records
+            )
+            if shard in self._dirty_shards:
+                # The previous append may have torn its last line; a
+                # leading newline isolates the fragment as one corrupt
+                # line instead of letting it corrupt this record too.
+                text = "\n" + text
+            try:
+                fsio.append_text(path, text, op="store")
+            except OSError as error:
+                self._dirty_shards.add(shard)
+                self._stats["write_errors"] += 1
+                remaining.extend(records)
+                get_disk_guard().note_failure(self.root)
+                if not self._warned_write_failure:
+                    self._warned_write_failure = True
+                    warnings.warn(
+                        f"simcache: append to shard {path} failed "
+                        f"({error}); keeping records pending and "
+                        "continuing from memory"
+                    )
+            else:
+                self._dirty_shards.discard(shard)
+                written += len(records)
+        self._pending = remaining
+        if written:
+            self._stats["flushes"] += 1
+            self._stats["appended_records"] += written
         return written
 
     def clear(self) -> None:
@@ -248,17 +297,16 @@ class ResultStore:
         while os.path.exists(dest):
             suffix += 1
             dest = os.path.join(qdir, f"{base}.{suffix}")
-        os.replace(path, dest)
+        fsio.replace_file(path, dest)
         if salvaged:
-            tmp = path + ".tmp"
-            with open(tmp, "w") as fh:
-                fh.write(
-                    "".join(
-                        json.dumps({"key": k, "payload": p}) + "\n"
-                        for k, p in salvaged
-                    )
-                )
-            os.replace(tmp, path)
+            fsio.atomic_write_text(
+                path,
+                "".join(
+                    json.dumps({"key": k, "payload": p}) + "\n"
+                    for k, p in salvaged
+                ),
+                op="store",
+            )
         self._stats["quarantined_shards"] += 1
         warnings.warn(
             f"simcache: shard {path} had corrupt lines; original moved to "

@@ -40,8 +40,10 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+from repro import fsio
 from repro.exceptions import CheckpointError
 from repro.obs.tracing import get_tracer
+from repro.resilience import get_disk_guard
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -209,13 +211,15 @@ class Checkpointer:
             "payload": payload,
         }
         path = self.path_for(kernels_completed)
-        tmp = path + ".tmp"
+        if not get_disk_guard().ok(self.directory):
+            # Low disk: the simulation keeps running, just unprotected —
+            # the next interval retries once space recovers.
+            return False
         try:
             os.makedirs(self.directory, exist_ok=True)
-            with open(tmp, "w") as fh:
-                json.dump(record, fh)
-            os.replace(tmp, path)
+            fsio.atomic_write_text(path, json.dumps(record), op="checkpoint")
         except (OSError, TypeError, ValueError) as error:
+            get_disk_guard().note_failure(self.directory)
             warnings.warn(
                 f"checkpoint: cannot write {path}: {error}; "
                 "continuing without this snapshot"
@@ -298,7 +302,7 @@ class Checkpointer:
             while os.path.exists(dest):
                 suffix += 1
                 dest = os.path.join(qdir, f"{base}.{suffix}")
-            os.replace(path, dest)
+            fsio.replace_file(path, dest)
         except OSError:
             try:
                 os.remove(path)

@@ -50,3 +50,21 @@ class ExecutionError(ReproError):
     it never costs finished work; the failed runs are described in the
     failure manifest (``results/failures/``).
     """
+
+
+class ShutdownRequested(BaseException):
+    """A graceful shutdown (SIGINT/SIGTERM) drained the current campaign.
+
+    Deliberately *not* a :class:`ReproError`: ``--keep-going`` handlers
+    catch :class:`ReproError` to skip one failed experiment and press on,
+    and a shutdown must never be swallowed that way.  Like
+    :class:`KeyboardInterrupt` it derives from :class:`BaseException`
+    and is raised only after the partial-progress contract has been
+    honoured — completed results merged, the failure manifest written —
+    so catching it at the CLI boundary and exiting with
+    :data:`repro.resilience.EXIT_INTERRUPTED` loses nothing.
+    """
+
+    def __init__(self, message: str = "shutdown requested", signum: int = 0):
+        super().__init__(message)
+        self.signum = signum

@@ -21,8 +21,10 @@ import os
 import warnings
 from typing import Dict, Iterable, List, Optional
 
+from repro import fsio
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import Tracer, get_tracer
+from repro.resilience import get_disk_guard
 
 __all__ = [
     "collect_events",
@@ -76,6 +78,31 @@ def collect_events(
     return events
 
 
+def _export_json(path: str, text: str, op: str) -> bool:
+    """Durably write one export artifact; failures warn, never raise.
+
+    Observability output is best-effort by contract: a full disk or an
+    injected fault costs the artifact, not the campaign.  Returns True
+    when the file landed.
+    """
+    if not get_disk_guard().ok(os.path.dirname(path) or "."):
+        warnings.warn(
+            f"obs export: skipping {path} (disk space low); "
+            "the in-memory data is unaffected"
+        )
+        return False
+    try:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        fsio.atomic_write_text(path, text, op=op)
+    except OSError as error:
+        get_disk_guard().note_failure(os.path.dirname(path) or ".")
+        warnings.warn(f"obs export: cannot write {path}: {error}")
+        return False
+    return True
+
+
 def chrome_trace_document(
     events: Iterable[dict], metadata: Optional[Dict] = None
 ) -> dict:
@@ -97,18 +124,14 @@ def write_chrome_trace(
 ) -> int:
     """Write a Chrome-trace-loadable JSON file; returns the event count.
 
-    Atomic (tmp + rename) so a crash mid-export never leaves a
-    truncated file under the final name.
+    Atomic and durable (tmp + fsync + rename via :mod:`repro.fsio`) so
+    a crash mid-export never leaves a truncated file under the final
+    name.  A failed write (``ENOSPC``, low disk) degrades to a warning:
+    losing a trace must never lose the run that produced it.
     """
     events = collect_events(tracer, spill_dir)
     document = chrome_trace_document(events, metadata)
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    tmp = path + ".tmp"
-    with open(tmp, "w") as fh:
-        json.dump(document, fh)
-    os.replace(tmp, path)
+    _export_json(path, json.dumps(document), op="trace")
     return len(events)
 
 
@@ -131,13 +154,9 @@ def write_metrics(
             merged.merge_snapshot(other, f"{prefix}.")
         registry = merged
     snapshot = registry.snapshot()
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    tmp = path + ".tmp"
-    with open(tmp, "w") as fh:
-        json.dump(snapshot, fh, indent=2, sort_keys=True)
-    os.replace(tmp, path)
+    _export_json(
+        path, json.dumps(snapshot, indent=2, sort_keys=True), op="metrics"
+    )
     return snapshot
 
 

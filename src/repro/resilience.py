@@ -1,0 +1,497 @@
+"""Resilience layer: graceful shutdown, resource guards, circuit breakers.
+
+Long simulation campaigns die in boring ways: an operator hits Ctrl-C,
+a disk fills up mid-flush, one worker eats all the RAM, or one broken
+config burns its full retry budget on every single invocation.  This
+module makes those events survivable instead of fatal:
+
+* :class:`ShutdownCoordinator` — SIGINT/SIGTERM become a *drain*: stop
+  submitting new runs, let in-flight runs finish, flush every completed
+  result, write the failure manifest, exit with the resumable code
+  :data:`EXIT_INTERRUPTED`.  A second signal force-quits
+  (``128 + signum``).
+* :class:`DiskGuard` — a free-space preflight plus cheap periodic
+  checks; below the threshold the store and checkpointer stop *writing*
+  (computation continues from memory), a warning fires once and the
+  ``resilience.resource_pressure`` counter records the episode.
+* :func:`apply_memory_limit` — an optional per-process address-space
+  ceiling (``REPRO_MAX_RSS``, e.g. ``2G``) so a pathological run raises
+  :class:`MemoryError` — mapped to a non-retryable run outcome — instead
+  of taking the whole worker pool (or the host) down with it.
+* :class:`CircuitBreaker` — per-config failure accounting over the
+  append-only manifest (``results/failures/``): a config with
+  :data:`DEFAULT_BREAKER_THRESHOLD` consecutive terminal failures is
+  *skipped* on later ``--keep-going`` invocations until
+  ``--retry-quarantined`` re-arms it (a success resets the count).
+
+Exit-code contract for every CLI entry point (documented in
+``docs/ARCHITECTURE.md`` § "Resilience")::
+
+    0             success
+    1             completed with failures (--keep-going)
+    2             error (configuration, unrecoverable execution)
+    75            interrupted, resumable: rerun the same command
+    128 + signum  forced quit (second signal)
+
+``75`` is ``EX_TEMPFAIL`` from ``sysexits.h`` — "temporary failure,
+retrying later will succeed", which is exactly the contract: everything
+completed before the signal is durable, and a rerun picks up from the
+cache and the checkpoints.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import sys
+import time
+import warnings
+from typing import Dict, Iterable, Optional
+
+from repro.exceptions import ShutdownRequested
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_FAILURES",
+    "EXIT_ERROR",
+    "EXIT_INTERRUPTED",
+    "MIN_FREE_ENV",
+    "DEFAULT_MIN_FREE_MB",
+    "DISK_CHECK_INTERVAL_ENV",
+    "MAX_RSS_ENV",
+    "BREAKER_THRESHOLD_ENV",
+    "DEFAULT_BREAKER_THRESHOLD",
+    "ShutdownCoordinator",
+    "get_coordinator",
+    "install_shutdown_handlers",
+    "DiskGuard",
+    "get_disk_guard",
+    "preflight_disk",
+    "parse_size",
+    "apply_memory_limit",
+    "CircuitBreaker",
+    "breaker_threshold",
+]
+
+EXIT_OK = 0
+EXIT_FAILURES = 1
+EXIT_ERROR = 2
+#: EX_TEMPFAIL: the campaign was drained, not lost — rerun to resume.
+EXIT_INTERRUPTED = 75
+
+MIN_FREE_ENV = "REPRO_MIN_FREE_MB"
+DEFAULT_MIN_FREE_MB = 64
+DISK_CHECK_INTERVAL_ENV = "REPRO_DISK_CHECK_INTERVAL"
+DEFAULT_DISK_CHECK_INTERVAL = 5.0
+MAX_RSS_ENV = "REPRO_MAX_RSS"
+BREAKER_THRESHOLD_ENV = "REPRO_BREAKER_THRESHOLD"
+DEFAULT_BREAKER_THRESHOLD = 3
+
+#: RunOutcome statuses a breaker counts as terminal failures.  Literal
+#: mirrors of repro.analysis.faults.{FAILED,TIMEOUT,OOM} — this module
+#: must stay import-free of the analysis package (which imports it).
+_BREAKER_FAILURE_STATUSES = frozenset(("failed", "timeout", "oom"))
+_BREAKER_RESET_STATUS = "ok"
+
+
+# --- graceful shutdown -----------------------------------------------------------
+
+class ShutdownCoordinator:
+    """Turns the first SIGINT/SIGTERM into a drain, the second into a kill.
+
+    One instance per process (see :func:`get_coordinator`).  Nothing is
+    installed until a CLI entry point calls :meth:`install` — library
+    users keep Python's default signal behaviour, and the execution
+    layer's ``BaseException`` handling covers a plain
+    :class:`KeyboardInterrupt` with the same partial-progress merge.
+
+    The handler never raises: it sets :attr:`requested` and returns, so
+    the coordination loops (pool drain, per-experiment checks) decide
+    *where* to stop.  That keeps the drain deterministic — a run that is
+    already executing finishes and its result is flushed.
+    """
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.signum: Optional[int] = None
+        self.installed = False
+        self._previous: Dict[int, object] = {}
+
+    def install(self) -> "ShutdownCoordinator":
+        """Install the SIGINT/SIGTERM handlers (main thread only)."""
+        if self.installed:
+            return self
+        try:
+            for sig in (signal.SIGINT, signal.SIGTERM):
+                self._previous[sig] = signal.signal(sig, self._handle)
+        except ValueError:
+            # Not the main thread (embedded use): leave defaults alone.
+            self._previous.clear()
+            return self
+        self.installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the previous handlers (tests, nested CLIs)."""
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, TypeError):
+                pass
+        self._previous.clear()
+        self.installed = False
+
+    def reset(self) -> None:
+        """Clear the requested flag (tests; a fresh campaign)."""
+        self.requested = False
+        self.signum = None
+
+    def _handle(self, signum, frame) -> None:
+        if self.requested:
+            # Second signal: the operator means it.  No cleanup — the
+            # durability story never depends on orderly exit.
+            os._exit(128 + signum)
+        self.requested = True
+        self.signum = signum
+        get_registry().inc("resilience.shutdown_requested")
+        print(
+            f"[resilience] received signal {signum}: draining — no new "
+            "runs will start; in-flight runs finish and completed "
+            "results are flushed.  Signal again to force-quit.",
+            file=sys.stderr,
+        )
+
+    def check(self) -> None:
+        """Raise :class:`ShutdownRequested` if a drain was requested.
+
+        Called between units of work (experiments, serial runs) so the
+        stop lands at a clean boundary.
+        """
+        if self.requested:
+            raise ShutdownRequested(
+                "graceful shutdown requested "
+                f"(signal {self.signum}); partial progress is flushed",
+                signum=self.signum or 0,
+            )
+
+
+_COORDINATOR = ShutdownCoordinator()
+
+
+def get_coordinator() -> ShutdownCoordinator:
+    """The process-wide shutdown coordinator."""
+    return _COORDINATOR
+
+
+def install_shutdown_handlers() -> ShutdownCoordinator:
+    """CLI entry helper: install and return the coordinator."""
+    return get_coordinator().install()
+
+
+# --- disk-space guard ------------------------------------------------------------
+
+def _nearest_existing(path: str) -> str:
+    """Walk up until a path ``shutil.disk_usage`` can stat."""
+    probe = os.path.abspath(path)
+    while probe and not os.path.exists(probe):
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    return probe or os.path.abspath(os.sep)
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        warnings.warn(f"{name}={raw!r} is not a number; using {default}")
+        return default
+    return value if value >= 0 else default
+
+
+class DiskGuard:
+    """Free-space gate for the persistence seams.
+
+    :meth:`ok` answers "is it safe to write under ``path``?" from a
+    cached verdict at most ``interval`` seconds old, so the hot flush
+    path pays one monotonic read, not a statvfs, per call.  Crossing
+    below the threshold warns once, bumps the
+    ``resilience.resource_pressure`` counter and records the free-byte
+    gauge; recovering clears the warning latch so a *new* episode warns
+    again.  Writers that hit an ``ENOSPC``-shaped error call
+    :meth:`note_failure` to force the low state immediately (the kernel
+    is a better authority than statvfs).
+
+    The store and the checkpointer skip writes while low — computation
+    continues from memory and everything still pending is flushed once
+    space recovers.
+    """
+
+    def __init__(
+        self,
+        min_free_bytes: Optional[int] = None,
+        interval: Optional[float] = None,
+    ) -> None:
+        if min_free_bytes is None:
+            min_free_bytes = int(
+                _env_float(MIN_FREE_ENV, DEFAULT_MIN_FREE_MB) * 1024 * 1024
+            )
+        if interval is None:
+            interval = _env_float(
+                DISK_CHECK_INTERVAL_ENV, DEFAULT_DISK_CHECK_INTERVAL
+            )
+        self.min_free_bytes = min_free_bytes
+        self.interval = interval
+        self._cache: Dict[str, tuple] = {}  # path -> (checked_at, ok)
+        self._warned_low = False
+
+    def free_bytes(self, path: str) -> Optional[int]:
+        """Free bytes on ``path``'s filesystem, or ``None`` if unknown."""
+        try:
+            return shutil.disk_usage(_nearest_existing(path)).free
+        except OSError:
+            return None
+
+    def ok(self, path: str) -> bool:
+        """True when writing under ``path`` is currently allowed."""
+        if self.min_free_bytes <= 0:
+            return True
+        now = time.monotonic()
+        cached = self._cache.get(path)
+        if cached is not None and now - cached[0] < self.interval:
+            return cached[1]
+        free = self.free_bytes(path)
+        verdict = free is None or free >= self.min_free_bytes
+        self._record(path, verdict, free, now)
+        return verdict
+
+    def note_failure(self, path: str) -> None:
+        """Force the low state after a real write failure (ENOSPC)."""
+        self._record(path, False, None, time.monotonic())
+
+    def _record(
+        self, path: str, verdict: bool, free: Optional[int], now: float
+    ) -> None:
+        self._cache[path] = (now, verdict)
+        registry = get_registry()
+        if free is not None:
+            registry.set_gauge("resilience.disk_free_bytes", float(free))
+        if not verdict and not self._warned_low:
+            self._warned_low = True
+            registry.inc("resilience.resource_pressure")
+            where = f" ({free // (1024 * 1024)} MB free)" if free else ""
+            warnings.warn(
+                f"disk guard: free space under {path}{where} is below the "
+                f"{self.min_free_bytes // (1024 * 1024)} MB threshold "
+                f"({MIN_FREE_ENV}); cache shards and checkpoints are "
+                "paused — computation continues, pending records flush "
+                "once space recovers"
+            )
+        elif verdict and self._warned_low:
+            self._warned_low = False
+
+
+_DISK_GUARD: Optional[DiskGuard] = None
+
+
+def get_disk_guard() -> DiskGuard:
+    """The process-wide disk guard (thresholds from the environment)."""
+    global _DISK_GUARD
+    if _DISK_GUARD is None:
+        _DISK_GUARD = DiskGuard()
+    return _DISK_GUARD
+
+
+def reset_disk_guard() -> None:
+    """Drop the singleton so the next use re-reads the environment."""
+    global _DISK_GUARD
+    _DISK_GUARD = None
+
+
+def preflight_disk(*paths: Optional[str]) -> bool:
+    """Check free space under every given path before a campaign starts.
+
+    Returns False (after warning) when any target is already below the
+    threshold — callers proceed anyway, degraded, matching the periodic
+    guard's behaviour.
+    """
+    guard = get_disk_guard()
+    verdict = True
+    for path in paths:
+        if path:
+            verdict = guard.ok(path) and verdict
+    return verdict
+
+
+# --- per-worker memory ceiling ---------------------------------------------------
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3, "t": 1024 ** 4}
+
+
+def parse_size(text: str) -> Optional[int]:
+    """Parse ``512M``/``2G``/``1048576`` into bytes; ``None`` on garbage."""
+    raw = text.strip().lower()
+    if not raw:
+        return None
+    scale = 1
+    if raw[-1] in _SIZE_SUFFIXES:
+        scale = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    if value <= 0:
+        return None
+    return int(value * scale)
+
+
+def apply_memory_limit(env: Optional[str] = None) -> Optional[int]:
+    """Cap this process's address space from ``REPRO_MAX_RSS``.
+
+    Returns the limit applied in bytes, or ``None`` when unset, garbage
+    (warns) or unsupported on the platform.  Applied in CLI entry
+    points and in every pool worker (via the pool initializer), so one
+    pathological run raises :class:`MemoryError` inside its own worker —
+    which the execution layer records as a non-retryable outcome —
+    instead of triggering the OOM killer and a pool death.
+    """
+    raw = env if env is not None else os.environ.get(MAX_RSS_ENV)
+    if not raw:
+        return None
+    limit = parse_size(raw)
+    if limit is None:
+        warnings.warn(
+            f"{MAX_RSS_ENV}={raw!r} is not a size (try 512M, 2G); "
+            "no memory limit applied"
+        )
+        return None
+    try:
+        import resource
+    except ImportError:  # non-POSIX platform
+        warnings.warn(
+            f"{MAX_RSS_ENV} set but the resource module is unavailable; "
+            "no memory limit applied"
+        )
+        return None
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (OSError, ValueError) as error:
+        warnings.warn(f"cannot apply {MAX_RSS_ENV}={raw!r}: {error}")
+        return None
+    return limit
+
+
+# --- per-config circuit breaker --------------------------------------------------
+
+class CircuitBreaker:
+    """Skip configs whose manifest shows a streak of terminal failures.
+
+    Reads the append-only failure manifest shards
+    (``results/failures/<shard>.jsonl``) and counts, per run key, the
+    failure records (``failed``/``timeout``/``oom``) since the last
+    ``ok`` record; ``interrupted`` and ``skipped`` records do not count
+    — being drained by a SIGTERM says nothing about the config.  A key
+    whose streak reaches ``threshold`` is *tripped*: ``--keep-going``
+    batches skip it (status ``skipped``, zero attempts) instead of
+    burning the retry budget on a deterministically-broken spec, until
+    ``--retry-quarantined`` forces a re-run — whose success appends an
+    ``ok`` record and closes the breaker again.
+
+    Counting is load-time only (manifests are small, appends are
+    chronological per shard); the breaker holds no open file handles.
+    """
+
+    def __init__(self, root: Optional[str], threshold: Optional[int] = None):
+        self.root = root
+        self.threshold = (
+            threshold if threshold is not None else breaker_threshold()
+        )
+        self._streaks: Optional[Dict[str, int]] = None
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.root) and self.threshold > 0
+
+    def _load(self) -> Dict[str, int]:
+        if self._streaks is not None:
+            return self._streaks
+        streaks: Dict[str, int] = {}
+        if self.enabled and os.path.isdir(self.root):
+            for fname in sorted(os.listdir(self.root)):
+                if not fname.endswith(".jsonl"):
+                    continue
+                self._scan(os.path.join(self.root, fname), streaks)
+        self._streaks = streaks
+        return streaks
+
+    def _scan(self, path: str, streaks: Dict[str, int]) -> None:
+        try:
+            with open(path) as fh:
+                raw_lines = fh.readlines()
+        except OSError as error:
+            warnings.warn(f"circuit breaker: cannot read {path}: {error}")
+            return
+        for line in raw_lines:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated trailing line: append-only contract
+            if not isinstance(record, dict):
+                continue
+            key = record.get("key")
+            status = record.get("status")
+            if not isinstance(key, str):
+                continue
+            if status == _BREAKER_RESET_STATUS:
+                streaks[key] = 0
+            elif status in _BREAKER_FAILURE_STATUSES:
+                streaks[key] = streaks.get(key, 0) + 1
+
+    def consecutive_failures(self, key: str) -> int:
+        """Terminal failures recorded for ``key`` since its last success."""
+        return self._load().get(key, 0)
+
+    def tripped(self, key: str) -> bool:
+        """True when ``key`` should be skipped (streak >= threshold)."""
+        return (
+            self.enabled
+            and self.consecutive_failures(key) >= self.threshold
+        )
+
+    def tripped_keys(self, keys: Iterable[str]) -> list:
+        return [key for key in keys if self.tripped(key)]
+
+
+def breaker_threshold(default: int = DEFAULT_BREAKER_THRESHOLD) -> int:
+    """Threshold from ``REPRO_BREAKER_THRESHOLD`` (0 disables), tolerant."""
+    raw = os.environ.get(BREAKER_THRESHOLD_ENV)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{BREAKER_THRESHOLD_ENV}={raw!r} is not an integer; "
+            f"using {default}"
+        )
+        return default
+    if value < 0:
+        warnings.warn(
+            f"{BREAKER_THRESHOLD_ENV} must be >= 0, got {value}; "
+            f"using {default}"
+        )
+        return default
+    return value

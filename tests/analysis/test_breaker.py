@@ -1,0 +1,169 @@
+"""Per-config circuit breaker, end to end: a config with a streak of
+terminal failures on record is skipped by later ``keep_going``
+invocations, ``--retry-quarantined`` forces it through, and a success
+closes the streak with an ``ok`` manifest record — on both the batch
+(pool) path and the lazy serial path."""
+
+import json
+
+import pytest
+
+from repro.analysis.faults import OK, SKIPPED, ExecutionPolicy
+from repro.analysis.parallel import ParallelRunner, RunRequest
+from repro.analysis.runner import CachedRunner
+from repro.analysis.simcache import ResultStore
+from repro.exceptions import ExecutionError, ReproError
+from repro.resilience import CircuitBreaker
+from repro.workloads import get_benchmark
+
+VA = get_benchmark("va", weak=True)
+BP = get_benchmark("bp", weak=True)
+FAST = dict(backoff_base=0.001)
+
+
+def policy(**overrides):
+    base = dict(
+        max_retries=0, keep_going=True, breaker_threshold=2, **FAST
+    )
+    base.update(overrides)
+    return ExecutionPolicy(**base)
+
+
+def manifest_records(tmp_path, shard="va"):
+    path = tmp_path / "failures" / f"{shard}.jsonl"
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestBatchBreaker:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_trip_skip_retry_and_reset(self, tmp_path, monkeypatch, jobs):
+        request = RunRequest("sim", VA, size=8)
+        # Two failing invocations build the streak (threshold 2).
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "fail:sim|va")
+        for _ in range(2):
+            store = ResultStore(str(tmp_path / "simcache"))
+            ParallelRunner(store, jobs=jobs, policy=policy()).run_batch_report(
+                [request, RunRequest("sim", BP, size=8)]
+            )
+        assert len(manifest_records(tmp_path)) == 2
+        # Third invocation: breaker open, the config is skipped with
+        # zero attempts and no new manifest record.
+        store = ResultStore(str(tmp_path / "simcache"))
+        with pytest.warns(UserWarning, match="circuit breaker"):
+            report = ParallelRunner(
+                store, jobs=jobs, policy=policy()
+            ).run_batch_report([request])
+        (outcome,) = report.outcomes
+        assert outcome.status == SKIPPED and outcome.attempts == 0
+        assert "circuit breaker open" in outcome.error
+        assert "--retry-quarantined" in outcome.error
+        assert "skipped" in report.summary()
+        assert not store.contains(request.key)
+        assert len(manifest_records(tmp_path)) == 2
+        # --retry-quarantined with the fault gone: the run executes and
+        # its success appends the ``ok`` record that closes the streak.
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        store = ResultStore(str(tmp_path / "simcache"))
+        report = ParallelRunner(
+            store, jobs=jobs, policy=policy(retry_quarantined=True)
+        ).run_batch_report([request])
+        (outcome,) = report.outcomes
+        assert outcome.status == OK
+        assert store.contains(request.key)
+        closing = manifest_records(tmp_path)[-1]
+        assert closing["status"] == OK and closing["key"] == request.key
+        breaker = CircuitBreaker(str(tmp_path / "failures"), threshold=2)
+        assert not breaker.tripped(request.key)
+
+    def test_fail_fast_batches_never_skip(self, tmp_path, monkeypatch):
+        # Without keep_going the operator asked for the error itself.
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "fail:sim|va")
+        request = RunRequest("sim", VA, size=8)
+        for _ in range(3):
+            store = ResultStore(str(tmp_path / "simcache"))
+            runner = ParallelRunner(
+                store, jobs=1, policy=policy(keep_going=False)
+            )
+            with pytest.raises(ExecutionError, match="failed"):
+                runner.run_batch_report([request])
+        # Streak is far past the threshold, yet the run still executes.
+        assert len(manifest_records(tmp_path)) == 3
+
+    def test_threshold_zero_disables_skipping(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "fail:sim|va")
+        request = RunRequest("sim", VA, size=8)
+        for _ in range(3):
+            store = ResultStore(str(tmp_path / "simcache"))
+            report = ParallelRunner(
+                store, jobs=1, policy=policy(breaker_threshold=0)
+            ).run_batch_report([request])
+            (outcome,) = report.outcomes
+            assert outcome.status != SKIPPED
+
+
+class TestLazyBreaker:
+    def test_simulate_gates_records_and_resets(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "fail:sim|va")
+        root = str(tmp_path / "simcache")
+        # The serial lazy path feeds the same manifest as the pool path.
+        for _ in range(2):
+            runner = CachedRunner(root, policy=policy())
+            with pytest.raises(ReproError, match="injected failure"):
+                runner.simulate(VA, 8)
+        records = manifest_records(tmp_path)
+        assert [r["status"] for r in records] == ["failed", "failed"]
+        assert "InjectedFaultError" in records[0]["error"]
+        # Streak at threshold: the gate raises before computing.
+        runner = CachedRunner(root, policy=policy())
+        with pytest.raises(ExecutionError, match="circuit breaker open"):
+            runner.simulate(VA, 8)
+        # --retry-quarantined forces through; success closes the streak.
+        monkeypatch.delenv("REPRO_FAULT_INJECT")
+        runner = CachedRunner(root, policy=policy(retry_quarantined=True))
+        result = runner.simulate(VA, 8)
+        assert result.cycles > 0
+        assert [r["status"] for r in manifest_records(tmp_path)] == [
+            "failed", "failed", "ok",
+        ]
+        # With a clean streak a plain keep-going runner serves the cache.
+        runner = CachedRunner(root, policy=policy())
+        assert runner.simulate(VA, 8).cycles == result.cycles
+
+    def test_memory_error_records_oom(self, tmp_path, monkeypatch):
+        root = str(tmp_path / "simcache")
+        runner = CachedRunner(root, policy=policy())
+        monkeypatch.setattr(
+            "repro.analysis.runner.compute_mrc",
+            lambda *a, **k: (_ for _ in ()).throw(MemoryError("rss cap")),
+        )
+        with pytest.raises(MemoryError):
+            runner.miss_rate_curve(VA)
+        (record,) = manifest_records(tmp_path)
+        assert record["status"] == "oom"
+        assert record["kind"] == "mrc"
+
+    def test_execution_health_mentions_skips(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "fail:sim|va")
+        root = str(tmp_path / "simcache")
+        request = RunRequest("sim", VA, size=8)
+        for _ in range(2):
+            CachedRunner(root, jobs=2, policy=policy()).prefetch([request])
+        runner = CachedRunner(root, jobs=2, policy=policy())
+        with pytest.warns(UserWarning, match="circuit breaker"):
+            runner.prefetch([request])
+        assert runner.stats()["exec_skipped"] == 1
+        assert "1 skipped (circuit breaker)" in runner.execution_health()
+
+
+class TestCliFlag:
+    def test_retry_quarantined_maps_to_policy(self):
+        from repro.analysis.cli import build_parser, build_policy
+
+        args = build_parser().parse_args(["fig4", "--retry-quarantined"])
+        assert build_policy(args).retry_quarantined is True
+        args = build_parser().parse_args(["fig4"])
+        assert build_policy(args).retry_quarantined is False

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Benchmark suite: emit a BENCH_<n>.json perf artifact and gate on a baseline.
+
+Runs the fixed benchmark matrix (quick or full tier) through the
+detailed engine and the scale-model predictor, then writes a
+schema-versioned artifact with simulated cycles/sec and
+warp-instructions/sec per workload class, cold/warm campaign wall time,
+predictor MAPE per scaling regime and peak RSS.
+
+Usage:
+  python scripts/bench.py --quick --out BENCH_6.json
+  python scripts/bench.py --quick --compare BENCH_6.json   # trajectory gate
+  python scripts/bench.py --validate-only BENCH_6.json     # schema check only
+
+Exit codes: 0 ok, 1 regression beyond tolerance, 2 schema-invalid artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.bench import (
+    Thresholds,
+    compare_artifacts,
+    matrix_for_tier,
+    validate_artifact,
+)
+from repro.bench.harness import run_bench
+from repro.fsio import atomic_write_text
+from repro.obs import bootstrap, install
+from repro.resilience import apply_memory_limit, install_shutdown_handlers
+
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_INVALID = 2
+
+
+def _load_artifact(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _validate(path: str, document: dict) -> bool:
+    problems = validate_artifact(document)
+    if problems:
+        print(f"{path}: artifact is not schema-valid:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return False
+    return True
+
+
+def _report(document: dict) -> None:
+    for name, block in document["workload_classes"].items():
+        print(
+            f"{name:13s} {block['sim_cycles_per_sec']:12.0f} cycles/s  "
+            f"{block['warp_instructions_per_sec']:12.0f} warp-insns/s  "
+            f"({', '.join(block['benchmarks'])})"
+        )
+    campaign = document["campaign"]
+    print(
+        f"campaign: cold {campaign['cold_wall_s']:.1f}s, "
+        f"warm {campaign['warm_wall_s']:.2f}s "
+        f"({campaign['runs']} runs, {campaign['warm_hits']} warm hits)"
+    )
+    for regime, block in document["accuracy"].items():
+        print(
+            f"accuracy[{regime}]: MAPE {block['mape_pct']:.2f}% "
+            f"(max {block['max_ape_pct']:.2f}%, n={block['count']})"
+        )
+    print(f"peak RSS: {document['memory']['peak_rss_bytes'] / 2**20:.0f} MiB")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    tier = parser.add_mutually_exclusive_group()
+    tier.add_argument("--quick", action="store_true",
+                      help="run the quick tier (one representative per "
+                           "scaling class; the CI smoke matrix)")
+    tier.add_argument("--full", action="store_true",
+                      help="run every Table II benchmark (release gate; "
+                           "tens of minutes)")
+    parser.add_argument("--out", default="BENCH_6.json",
+                        help="artifact path (default: %(default)s)")
+    parser.add_argument("--compare", metavar="BASELINE", default=None,
+                        help="diff the new artifact against this baseline "
+                             "and exit 1 on regression beyond tolerance")
+    parser.add_argument("--validate-only", metavar="ARTIFACT", default=None,
+                        help="schema-validate an existing artifact and exit "
+                             "(no benchmarks run)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the cold campaign "
+                             "(default 1; >1 disables the engine-loop "
+                             "cross-check)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cold-campaign cache directory (default: a "
+                             "fresh temp dir, removed afterwards; must not "
+                             "hold prior results)")
+    parser.add_argument("--tol-throughput", type=float, default=None,
+                        help="allowed fractional throughput loss "
+                             "(default 0.5)")
+    parser.add_argument("--tol-walltime", type=float, default=None,
+                        help="allowed fractional wall-time growth "
+                             "(default 1.5)")
+    parser.add_argument("--tol-mape", type=float, default=None,
+                        help="allowed MAPE growth in percentage points "
+                             "(default 1.0)")
+    parser.add_argument("--tol-rss", type=float, default=None,
+                        help="allowed fractional peak-RSS growth "
+                             "(default 1.0)")
+    parser.add_argument("--trace-out", default=None,
+                        help="write a Chrome trace_event JSON of the run")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the metrics snapshot as JSON")
+    parser.add_argument("--log-format", choices=("human", "json"),
+                        default=None)
+    args = parser.parse_args(argv)
+
+    if args.validate_only:
+        document = _load_artifact(args.validate_only)
+        if not _validate(args.validate_only, document):
+            return EXIT_INVALID
+        print(f"{args.validate_only}: schema-valid "
+              f"({document['tier']} tier)")
+        return EXIT_OK
+
+    obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
+    install_shutdown_handlers().reset()
+    apply_memory_limit()
+    # The harness always measures: the engine-loop hook feeds the
+    # instrumented/wall cross-check even without --trace-out.
+    install()
+
+    matrix = matrix_for_tier("full" if args.full else "quick")
+    cache_dir = args.cache_dir
+    temp_cache = cache_dir is None
+    if temp_cache:
+        cache_dir = tempfile.mkdtemp(prefix="repro-bench-")
+    try:
+        document = run_bench(
+            matrix, os.path.join(cache_dir, "simcache"), jobs=args.jobs
+        )
+    finally:
+        if temp_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if not _validate(args.out, document):
+        return EXIT_INVALID
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    atomic_write_text(
+        args.out, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out} ({matrix.tier} tier, {matrix.run_count} runs)")
+    _report(document)
+    obs.finalize()
+
+    if args.compare:
+        baseline = _load_artifact(args.compare)
+        defaults = Thresholds()
+        thresholds = Thresholds(
+            throughput_frac=(
+                defaults.throughput_frac
+                if args.tol_throughput is None else args.tol_throughput
+            ),
+            walltime_frac=(
+                defaults.walltime_frac
+                if args.tol_walltime is None else args.tol_walltime
+            ),
+            mape_pp=defaults.mape_pp if args.tol_mape is None else args.tol_mape,
+            rss_frac=defaults.rss_frac if args.tol_rss is None else args.tol_rss,
+        )
+        try:
+            regressions = compare_artifacts(baseline, document, thresholds)
+        except ValueError as error:
+            print(f"compare failed: {error}", file=sys.stderr)
+            return EXIT_INVALID
+        if regressions:
+            print(
+                f"REGRESSION: {len(regressions)} metric(s) beyond tolerance "
+                f"vs {args.compare}:", file=sys.stderr,
+            )
+            for regression in regressions:
+                print(f"  - {regression}", file=sys.stderr)
+            return EXIT_REGRESSION
+        print(f"trajectory ok: no regression vs {args.compare}")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""repro.bench — the benchmark harness and perf-trajectory gate.
+
+The measurement substrate every performance-facing change is judged by
+(ROADMAP item 1): a fixed matrix of workload classes runs through the
+detailed engine and the scale-model predictor, and the numbers land in
+a schema-versioned ``BENCH_<n>.json`` artifact that the comparator
+diffs against the checked-in baseline.
+
+* :mod:`repro.bench.matrix` — the deterministic quick/full matrices;
+* :mod:`repro.bench.harness` — :func:`run_bench`, cold + warm campaigns;
+* :mod:`repro.bench.schema` — artifact layout and validator;
+* :mod:`repro.bench.compare` — per-family regression thresholds.
+
+``scripts/bench.py`` is the CLI; the CI ``bench-smoke`` job runs the
+quick tier and fails on regression beyond tolerance.
+"""
+
+from repro.bench.compare import Regression, Thresholds, compare_artifacts
+from repro.bench.harness import run_bench
+from repro.bench.matrix import (
+    BenchCase,
+    BenchMatrix,
+    full_matrix,
+    matrix_for_tier,
+    quick_matrix,
+)
+from repro.bench.schema import (
+    ARTIFACT_KIND,
+    SCHEMA_VERSION,
+    TIERS,
+    validate_artifact,
+)
+
+__all__ = [
+    "ARTIFACT_KIND",
+    "SCHEMA_VERSION",
+    "TIERS",
+    "BenchCase",
+    "BenchMatrix",
+    "Regression",
+    "Thresholds",
+    "compare_artifacts",
+    "full_matrix",
+    "matrix_for_tier",
+    "quick_matrix",
+    "run_bench",
+    "validate_artifact",
+]

@@ -1,0 +1,159 @@
+"""Baseline comparison: the perf-trajectory regression gate.
+
+Two artifacts of the same tier are compared family by family, each with
+its own direction and tolerance:
+
+* **throughput** (higher is better) — fail when the new value falls more
+  than ``throughput_frac`` below the baseline;
+* **wall time** (lower is better) — fail when the new value exceeds the
+  baseline by more than ``walltime_frac``;
+* **accuracy** (lower is better, *deterministic*) — fail when MAPE rises
+  by more than ``mape_pp`` percentage points.  Simulation results are a
+  pure function of the matrix and seed, so this family is held to a far
+  tighter tolerance than the host-dependent timing families;
+* **memory** (lower is better) — fail when peak RSS grows by more than
+  ``rss_frac``.
+
+Wall-clock tolerances default generous because the gate runs across
+heterogeneous hosts (a laptop baseline vs. a CI runner); they exist to
+catch order-of-magnitude regressions — an accidentally quadratic loop,
+a cache that stopped hitting — not 10% scheduler noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.bench.schema import validate_artifact
+
+__all__ = ["Thresholds", "Regression", "compare_artifacts"]
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Per-family regression tolerances (all fractions of the baseline)."""
+
+    #: Allowed fractional throughput loss (0.5 = new may be half as fast).
+    throughput_frac: float = 0.5
+    #: Allowed fractional wall-time growth (1.5 = new may take 2.5x).
+    walltime_frac: float = 1.5
+    #: Allowed MAPE growth in absolute percentage points.
+    mape_pp: float = 1.0
+    #: Allowed fractional peak-RSS growth (1.0 = new may use 2x).
+    rss_frac: float = 1.0
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved past its tolerance."""
+
+    family: str
+    metric: str
+    baseline: float
+    current: float
+    limit: float
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.family}] {self.metric}: {self.current:.4g} vs "
+            f"baseline {self.baseline:.4g} (limit {self.limit:.4g})"
+        )
+
+
+def _check_higher_better(
+    regressions: List[Regression],
+    family: str,
+    metric: str,
+    baseline: float,
+    current: float,
+    frac: float,
+) -> None:
+    limit = baseline * (1.0 - frac)
+    if current < limit:
+        regressions.append(Regression(family, metric, baseline, current, limit))
+
+
+def _check_lower_better(
+    regressions: List[Regression],
+    family: str,
+    metric: str,
+    baseline: float,
+    current: float,
+    frac: float,
+) -> None:
+    limit = baseline * (1.0 + frac)
+    if current > limit:
+        regressions.append(Regression(family, metric, baseline, current, limit))
+
+
+def compare_artifacts(
+    baseline: dict, current: dict, thresholds: Thresholds = Thresholds()
+) -> List[Regression]:
+    """Diff ``current`` against ``baseline``; return the regressions.
+
+    Both documents must be schema-valid and of the same tier — comparing
+    a quick run against a full baseline would gate on disjoint matrices.
+    """
+    for name, document in (("baseline", baseline), ("current", current)):
+        problems = validate_artifact(document)
+        if problems:
+            raise ValueError(f"{name} artifact is not schema-valid: {problems}")
+    if baseline["tier"] != current["tier"]:
+        raise ValueError(
+            f"cannot compare tiers: baseline is {baseline['tier']!r}, "
+            f"current is {current['tier']!r}"
+        )
+
+    regressions: List[Regression] = []
+
+    for class_name, base_block in baseline["workload_classes"].items():
+        cur_block = current["workload_classes"].get(class_name)
+        if cur_block is None:
+            regressions.append(
+                Regression(
+                    "throughput", f"workload_classes.{class_name} (missing)",
+                    1.0, 0.0, 1.0,
+                )
+            )
+            continue
+        for metric in ("sim_cycles_per_sec", "warp_instructions_per_sec"):
+            _check_higher_better(
+                regressions, "throughput", f"{class_name}.{metric}",
+                base_block[metric], cur_block[metric],
+                thresholds.throughput_frac,
+            )
+
+    for metric in ("cold_wall_s", "warm_wall_s"):
+        _check_lower_better(
+            regressions, "walltime", f"campaign.{metric}",
+            baseline["campaign"][metric], current["campaign"][metric],
+            thresholds.walltime_frac,
+        )
+
+    for regime, base_block in baseline["accuracy"].items():
+        cur_block = current["accuracy"].get(regime)
+        if cur_block is None:
+            regressions.append(
+                Regression(
+                    "accuracy", f"accuracy.{regime} (missing)", 1.0, 0.0, 1.0
+                )
+            )
+            continue
+        limit = base_block["mape_pct"] + thresholds.mape_pp
+        if cur_block["mape_pct"] > limit:
+            regressions.append(
+                Regression(
+                    "accuracy", f"{regime}.mape_pct",
+                    base_block["mape_pct"], cur_block["mape_pct"], limit,
+                )
+            )
+
+    _check_lower_better(
+        regressions, "memory", "peak_rss_bytes",
+        baseline["memory"]["peak_rss_bytes"],
+        current["memory"]["peak_rss_bytes"],
+        thresholds.rss_frac,
+    )
+
+    return regressions

@@ -1,0 +1,249 @@
+"""The benchmark harness: run a matrix, emit a schema-valid artifact.
+
+One :func:`run_bench` call executes the matrix twice through the cached
+runner — once against an empty store (the *cold* campaign: every run is
+a genuine simulation) and once against the store the cold pass filled
+(the *warm* campaign: every run must be a cache hit) — and distills the
+results into the ``BENCH_<n>.json`` families:
+
+* **throughput** per workload class: simulated cycles/sec,
+  warp-instructions/sec and events/sec of the detailed engine, computed
+  from each run's engine-measured ``wall_time_s`` so the numbers are
+  valid under parallel prefetch too;
+* **campaign** wall time cold and warm — the end-to-end cost a user
+  pays, cache machinery included;
+* **accuracy**: the scale-model predictor's MAPE against the detailed
+  simulation, per scaling regime — the paper's headline claim as a
+  regression-gated number;
+* **memory**: the process peak RSS via :mod:`repro.obs.resources`.
+
+Timing is cross-checked: when the :mod:`repro.obs` profile hooks are
+installed the engine's own instrumented loop time (``engine.run_us``)
+is captured alongside the harness's wall measurements, and the artifact
+records both so a disagreement (instrumentation drift, a timer bug)
+shows up in review rather than silently skewing the trajectory.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.analysis.faults import ExecutionPolicy
+from repro.analysis.parallel import RunRequest
+from repro.analysis.runner import CachedRunner
+from repro.bench.matrix import BenchCase, BenchMatrix
+from repro.bench.schema import ARTIFACT_KIND, SCHEMA_VERSION
+from repro.checkpoint import CheckpointPolicy
+from repro.core import ScaleModelPredictor, ScaleModelProfile
+from repro.gpu.results import SimulationResult
+from repro.obs import run_phase, sample_peak_rss
+from repro.obs.metrics import get_registry
+
+__all__ = ["run_bench"]
+
+#: Checkpointing off for benchmark runs: snapshot I/O is not part of the
+#: engine throughput being measured, and bench campaigns are short.
+_NO_CHECKPOINT = CheckpointPolicy(root=None)
+
+
+def _runner(cache_dir: str, jobs: int) -> CachedRunner:
+    return CachedRunner(
+        cache_dir,
+        jobs=jobs,
+        policy=ExecutionPolicy(),
+        checkpoint=_NO_CHECKPOINT,
+    )
+
+
+def _requests(matrix: BenchMatrix) -> List[RunRequest]:
+    requests = [
+        RunRequest("sim", case.spec, size=size, seed=matrix.seed)
+        for case in matrix.cases
+        for size in case.sizes
+    ]
+    requests += [
+        RunRequest("mrc", case.spec, seed=matrix.seed) for case in matrix.cases
+    ]
+    return requests
+
+
+def _campaign(
+    runner: CachedRunner, matrix: BenchMatrix
+) -> Dict[str, Dict[int, SimulationResult]]:
+    """Run (or hit) every sim and MRC of the matrix; return the sims."""
+    runner.executed = runner.prefetch(_requests(matrix))
+    sims: Dict[str, Dict[int, SimulationResult]] = {}
+    for case in matrix.cases:
+        sims[case.abbr] = {
+            size: runner.simulate(case.spec, size, seed=matrix.seed)
+            for size in case.sizes
+        }
+        runner.miss_rate_curve(case.spec, seed=matrix.seed)
+    runner.flush()
+    return sims
+
+
+def _throughput_by_class(
+    matrix: BenchMatrix, sims: Dict[str, Dict[int, SimulationResult]]
+) -> Dict[str, dict]:
+    classes: Dict[str, dict] = {}
+    for class_name, cases in matrix.by_class().items():
+        results = [
+            result for case in cases for result in sims[case.abbr].values()
+        ]
+        cycles = sum(r.cycles for r in results)
+        warp_insns = sum(r.warp_instructions for r in results)
+        events = sum(r.events for r in results)
+        wall = sum(r.wall_time_s for r in results)
+        if wall <= 0:
+            # Engine-measured time should never be zero for a real run;
+            # degrade to null-rate rather than dividing by zero.
+            wall = float("nan")
+        classes[class_name] = {
+            "benchmarks": [case.abbr for case in cases],
+            "sim_cycles_per_sec": cycles / wall,
+            "warp_instructions_per_sec": warp_insns / wall,
+            "events_per_sec": events / wall,
+            "simulated_cycles": cycles,
+            "warp_instructions": warp_insns,
+            "wall_time_s": wall,
+        }
+    return classes
+
+
+def _accuracy_by_regime(
+    runner: CachedRunner,
+    matrix: BenchMatrix,
+    sims: Dict[str, Dict[int, SimulationResult]],
+) -> Dict[str, dict]:
+    """Scale-model MAPE vs. the detailed engine, per scaling regime.
+
+    Pure function of the (deterministic) simulation results, so the
+    numbers are bit-stable across hosts — the comparator's tightest
+    family.
+    """
+    apes: Dict[str, List[float]] = {}
+    for case in matrix.cases:
+        case_sims = sims[case.abbr]
+        profile = ScaleModelProfile(
+            workload=case.abbr,
+            sizes=tuple(case.scales),
+            ipcs=tuple(case_sims[n].ipc for n in case.scales),
+            f_mem=case_sims[max(case.scales)].memory_stall_fraction,
+            curve=runner.miss_rate_curve(case.spec, seed=matrix.seed),
+        )
+        predictor = ScaleModelPredictor(profile)
+        regime = case.spec.scaling.value
+        for target in case.targets:
+            actual = case_sims[target].ipc
+            predicted = predictor.predict(target).ipc
+            apes.setdefault(regime, []).append(
+                abs(predicted - actual) / actual
+            )
+    return {
+        regime: {
+            "mape_pct": 100.0 * sum(values) / len(values),
+            "max_ape_pct": 100.0 * max(values),
+            "count": len(values),
+        }
+        for regime, values in apes.items()
+    }
+
+
+def _engine_loop_seconds() -> float:
+    """Instrumented engine-loop time accumulated so far (0 when obs off)."""
+    return get_registry().histogram("engine.run_us").total / 1e6
+
+
+def run_bench(
+    matrix: BenchMatrix,
+    cache_dir: str,
+    jobs: int = 1,
+    created_unix: Optional[float] = None,
+) -> dict:
+    """Execute ``matrix`` cold then warm; return the artifact document.
+
+    ``cache_dir`` must not hold results from a previous campaign, or the
+    "cold" numbers silently measure cache hits; the caller owns creating
+    (and cleaning up) a fresh directory.
+    """
+    loop_before = _engine_loop_seconds()
+
+    with run_phase("bench.cold", tier=matrix.tier, jobs=jobs):
+        cold_start = time.perf_counter()
+        cold = _runner(cache_dir, jobs)
+        sims = _campaign(cold, matrix)
+        cold_wall = time.perf_counter() - cold_start
+    # Lazy-path misses plus pool-executed runs must account for the whole
+    # matrix, or the "cold" numbers measured a warm cache.
+    cold_computed = cold.misses + cold.executed
+    if cold_computed != matrix.run_count:
+        raise RuntimeError(
+            f"cold campaign expected {matrix.run_count} computed runs, got "
+            f"{cold_computed} (stale cache_dir {cache_dir!r}?)"
+        )
+
+    with run_phase("bench.warm", tier=matrix.tier):
+        warm_start = time.perf_counter()
+        warm = _runner(cache_dir, jobs=1)
+        _campaign(warm, matrix)
+        warm_wall = time.perf_counter() - warm_start
+    # Capture before the accuracy phase re-reads curves through the same
+    # runner, or the hit count drifts past the campaign's run count.
+    warm_hits, warm_misses = warm.hits, warm.misses
+
+    with run_phase("bench.accuracy", tier=matrix.tier):
+        accuracy = _accuracy_by_regime(warm, matrix, sims)
+
+    classes = _throughput_by_class(matrix, sims)
+    harness_sim_wall = sum(block["wall_time_s"] for block in classes.values())
+    engine_loop_s = _engine_loop_seconds() - loop_before
+
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": ARTIFACT_KIND,
+        "tier": matrix.tier,
+        "created_unix": (
+            time.time() if created_unix is None else float(created_unix)
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "cpu_count": os.cpu_count() or 1,
+            "jobs": jobs,
+        },
+        "matrix": {
+            "seed": matrix.seed,
+            "cases": [
+                {
+                    "abbr": case.abbr,
+                    "scales": list(case.scales),
+                    "targets": list(case.targets),
+                }
+                for case in matrix.cases
+            ],
+        },
+        "workload_classes": classes,
+        "campaign": {
+            "cold_wall_s": cold_wall,
+            "warm_wall_s": warm_wall,
+            "runs": matrix.run_count,
+            "warm_hits": warm_hits,
+            "warm_misses": warm_misses,
+        },
+        "accuracy": accuracy,
+        "memory": {"peak_rss_bytes": sample_peak_rss()},
+        "cross_check": {
+            # Instrumented loop time (repro.obs engine hook) versus the
+            # engine's own per-run wall measurement.  With obs installed
+            # and jobs=1 these agree to within trace-generation overhead;
+            # engine_loop_s is 0 when obs is off or runs happened in
+            # worker processes.
+            "engine_loop_s": engine_loop_s,
+            "harness_sim_wall_s": harness_sim_wall,
+        },
+    }

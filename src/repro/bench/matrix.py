@@ -1,0 +1,125 @@
+"""The fixed benchmark matrix the harness runs.
+
+Every invocation of a tier runs the *same* workloads at the same scales
+with the same seed, so the simulation-derived fields of the artifact
+(simulated cycles, warp instructions, predictor MAPE) are bit-stable
+across runs and machines — only the wall-clock families vary.  That
+split is what lets the comparator hold accuracy to tight tolerances
+while staying generous on host-dependent timing.
+
+Tier design:
+
+* **quick** — one fast representative per scaling class (the classes of
+  Table II), small target; finishes in about a minute serially and is
+  the CI ``bench-smoke`` tier;
+* **full** — every Table II benchmark, two targets; the release-gate
+  tier (``scripts/finalize.sh`` territory, tens of minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import ReproError
+from repro.workloads import STRONG_SCALING
+from repro.workloads.spec import BenchmarkSpec
+
+__all__ = ["BenchCase", "BenchMatrix", "matrix_for_tier", "quick_matrix", "full_matrix"]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmark's slot in the matrix."""
+
+    abbr: str
+    scales: Tuple[int, ...] = (8, 16)
+    targets: Tuple[int, ...] = (32,)
+
+    def __post_init__(self) -> None:
+        if self.abbr not in STRONG_SCALING:
+            raise ReproError(f"unknown benchmark {self.abbr!r} in bench matrix")
+        if len(self.scales) < 2:
+            raise ReproError(
+                f"{self.abbr}: scale-model prediction needs >= 2 scale points"
+            )
+        if not self.targets:
+            raise ReproError(f"{self.abbr}: at least one target size required")
+        largest = max(self.scales)
+        if any(t < largest for t in self.targets):
+            raise ReproError(
+                f"{self.abbr}: targets {self.targets} must not be smaller "
+                f"than the largest scale model ({largest})"
+            )
+
+    @property
+    def spec(self) -> BenchmarkSpec:
+        return STRONG_SCALING[self.abbr]
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """All system sizes this case simulates (scales then targets)."""
+        return tuple(self.scales) + tuple(self.targets)
+
+
+@dataclass(frozen=True)
+class BenchMatrix:
+    """A deterministic set of cases plus the seed they all run under."""
+
+    tier: str
+    cases: Tuple[BenchCase, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cases:
+            raise ReproError(f"{self.tier}: empty bench matrix")
+        abbrs = [case.abbr for case in self.cases]
+        if len(set(abbrs)) != len(abbrs):
+            raise ReproError(f"{self.tier}: duplicate benchmarks in matrix: {abbrs}")
+
+    def by_class(self) -> Dict[str, List[BenchCase]]:
+        """Cases grouped by the paper's scaling class, insertion-ordered."""
+        groups: Dict[str, List[BenchCase]] = {}
+        for case in self.cases:
+            groups.setdefault(case.spec.scaling.value, []).append(case)
+        return groups
+
+    @property
+    def run_count(self) -> int:
+        """Detailed simulations plus one MRC collection per case."""
+        return sum(len(case.sizes) + 1 for case in self.cases)
+
+
+def quick_matrix() -> BenchMatrix:
+    """One fast representative per scaling class (CI smoke tier).
+
+    Representatives were picked by measured serial runtime: ``va``,
+    ``btree`` and ``bs`` are the cheapest members of their classes at
+    a few seconds per simulation.
+    """
+    return BenchMatrix(
+        tier="quick",
+        cases=(
+            BenchCase("va"),      # super-linear (miss-rate cliff)
+            BenchCase("btree"),   # sub-linear (CTA tails / imbalance)
+            BenchCase("bs"),      # linear (balanced, compute-bound)
+        ),
+    )
+
+
+def full_matrix() -> BenchMatrix:
+    """Every Table II benchmark, two prediction targets."""
+    return BenchMatrix(
+        tier="full",
+        cases=tuple(
+            BenchCase(abbr, targets=(32, 64)) for abbr in STRONG_SCALING
+        ),
+    )
+
+
+def matrix_for_tier(tier: str) -> BenchMatrix:
+    if tier == "quick":
+        return quick_matrix()
+    if tier == "full":
+        return full_matrix()
+    raise ReproError(f"unknown bench tier {tier!r}; expected quick or full")

@@ -1,0 +1,129 @@
+"""The ``BENCH_<n>.json`` artifact schema and its validator.
+
+One benchmark invocation emits one schema-versioned JSON document; the
+comparator (:mod:`repro.bench.compare`) and the CI trajectory gate only
+consume documents this module accepts, so schema drift fails loudly at
+the artifact boundary instead of as a ``KeyError`` three layers down.
+
+The validator is hand-rolled (no jsonschema dependency) and returns a
+list of human-readable problems — empty means valid — mirroring
+:func:`repro.obs.export.validate_trace_events`.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any, List
+
+__all__ = ["SCHEMA_VERSION", "ARTIFACT_KIND", "TIERS", "validate_artifact"]
+
+#: Bump on any breaking change to the artifact layout.
+SCHEMA_VERSION = 1
+
+ARTIFACT_KIND = "repro-bench"
+
+TIERS = ("quick", "full")
+
+#: Per-workload-class throughput metrics (all required, all >= 0).
+CLASS_METRICS = (
+    "sim_cycles_per_sec",
+    "warp_instructions_per_sec",
+    "events_per_sec",
+    "simulated_cycles",
+    "warp_instructions",
+    "wall_time_s",
+)
+
+#: Per-scaling-regime accuracy metrics.
+ACCURACY_METRICS = ("mape_pct", "max_ape_pct", "count")
+
+#: Campaign-level wall-clock metrics.
+CAMPAIGN_METRICS = ("cold_wall_s", "warm_wall_s", "runs", "warm_hits", "warm_misses")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _check_metric_block(
+    problems: List[str],
+    where: str,
+    block: Any,
+    required: tuple,
+) -> None:
+    if not isinstance(block, dict):
+        problems.append(f"{where}: expected an object, got {type(block).__name__}")
+        return
+    for metric in required:
+        if metric not in block:
+            problems.append(f"{where}: missing metric {metric!r}")
+        elif not _is_number(block[metric]):
+            problems.append(
+                f"{where}.{metric}: expected a number, got {block[metric]!r}"
+            )
+        elif block[metric] < 0:
+            problems.append(f"{where}.{metric}: negative value {block[metric]!r}")
+
+
+def validate_artifact(document: Any) -> List[str]:
+    """Validate a ``BENCH_*.json`` document; return problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return [f"artifact must be a JSON object, got {type(document).__name__}"]
+
+    if document.get("kind") != ARTIFACT_KIND:
+        problems.append(
+            f"kind: expected {ARTIFACT_KIND!r}, got {document.get('kind')!r}"
+        )
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version: expected {SCHEMA_VERSION}, got {version!r}"
+        )
+    if document.get("tier") not in TIERS:
+        problems.append(f"tier: expected one of {TIERS}, got {document.get('tier')!r}")
+
+    classes = document.get("workload_classes")
+    if not isinstance(classes, dict) or not classes:
+        problems.append("workload_classes: expected a non-empty object")
+    else:
+        for name, block in classes.items():
+            _check_metric_block(
+                problems, f"workload_classes.{name}", block, CLASS_METRICS
+            )
+            if isinstance(block, dict):
+                benchmarks = block.get("benchmarks")
+                if not isinstance(benchmarks, list) or not benchmarks:
+                    problems.append(
+                        f"workload_classes.{name}.benchmarks: expected a "
+                        "non-empty list"
+                    )
+
+    _check_metric_block(
+        problems, "campaign", document.get("campaign"), CAMPAIGN_METRICS
+    )
+
+    accuracy = document.get("accuracy")
+    if not isinstance(accuracy, dict) or not accuracy:
+        problems.append("accuracy: expected a non-empty object")
+    else:
+        for regime, block in accuracy.items():
+            _check_metric_block(
+                problems, f"accuracy.{regime}", block, ACCURACY_METRICS
+            )
+
+    memory = document.get("memory")
+    _check_metric_block(problems, "memory", memory, ("peak_rss_bytes",))
+
+    host = document.get("host")
+    if not isinstance(host, dict):
+        problems.append("host: expected an object")
+
+    cross = document.get("cross_check")
+    if cross is not None:
+        _check_metric_block(
+            problems, "cross_check", cross,
+            ("engine_loop_s", "harness_sim_wall_s"),
+        )
+
+    return problems

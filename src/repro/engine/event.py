@@ -1,10 +1,18 @@
 """Event and event-queue primitives for the simulation kernel.
 
-Heap entries are plain lists ``[time, seq, callback, args]`` so ordering
-comparisons run in C (tuple/list lexicographic compare); the unique ``seq``
-guarantees the comparison never reaches the callback and gives
-deterministic FIFO ordering among same-time events.  :class:`Event` is a
-thin handle wrapping the entry, kept for cancellation and introspection.
+Heap entries are plain lists ``[time, seq, callback, args, in_heap]`` so
+ordering comparisons run in C (tuple/list lexicographic compare); the
+unique ``seq`` guarantees the comparison never reaches the callback and
+gives deterministic FIFO ordering among same-time events.  :class:`Event`
+is a thin handle wrapping the entry, kept for cancellation and
+introspection.
+
+Cancellation is lazy: a cancelled entry stays in the heap (marked dead
+by a ``None`` callback) until a pop or peek compacts past it.  The queue
+therefore tracks the *live* entry count separately — ``len(queue)``
+reports only events that will still fire, so a queue holding nothing but
+cancelled corpses is empty for every caller that matters (the kernel's
+snapshot gate above all).
 """
 
 from __future__ import annotations
@@ -16,15 +24,23 @@ _TIME = 0
 _SEQ = 1
 _CALLBACK = 2
 _ARGS = 3
+# Whether the entry list currently sits in a queue's heap.  The unique
+# seq at index 1 guarantees lexicographic comparison never reads this
+# far, so the extra slot cannot affect heap ordering.  It lets
+# ``Event.cancel`` decide whether the owning queue's live count must
+# drop: cancelling an entry that was already popped (fired, or re-owned
+# by the caller) must not touch the count.
+_IN_HEAP = 4
 
 
 class Event:
     """Handle to a scheduled callback; supports cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_queue")
 
-    def __init__(self, entry: list) -> None:
+    def __init__(self, entry: list, queue: Optional["EventQueue"] = None) -> None:
         self._entry = entry
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -40,8 +56,13 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event dead; the queue drops it instead of firing it."""
-        self._entry[_CALLBACK] = None
-        self._entry[_ARGS] = ()
+        entry = self._entry
+        if entry[_CALLBACK] is None:
+            return  # already cancelled; never double-decrement
+        entry[_CALLBACK] = None
+        entry[_ARGS] = ()
+        if self._queue is not None and entry[_IN_HEAP]:
+            self._queue._discard_live()
 
     def fire(self) -> None:
         callback = self._entry[_CALLBACK]
@@ -50,14 +71,20 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of scheduled callbacks."""
+    """A deterministic min-heap of scheduled callbacks.
+
+    ``len(queue)`` counts *live* (uncancelled) events only; cancelled
+    entries linger in the heap until compacted past but are invisible to
+    every observer.
+    """
 
     def __init__(self) -> None:
         self._heap: List[list] = []
         self._seq = 0
+        self._live = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._live
 
     @property
     def seq(self) -> int:
@@ -68,38 +95,45 @@ class EventQueue:
     def seq(self, value: int) -> None:
         self._seq = int(value)
 
+    def _discard_live(self) -> None:
+        """A live in-heap entry was cancelled; forget it from the count."""
+        self._live -= 1
+
     def push(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute ``time``; return a handle."""
-        entry = [time, self._seq, callback, args]
+        entry = [time, self._seq, callback, args, True]
         self._seq += 1
         heapq.heappush(self._heap, entry)
-        return Event(entry)
+        self._live += 1
+        return Event(entry, self)
 
     def pop_entry(self) -> Optional[list]:
         """Remove and return the earliest live entry
-        ``[time, seq, callback, args]``, or ``None`` when the queue is empty.
+        ``[time, seq, callback, args, ...]``, or ``None`` when the queue
+        is empty.
 
-        The *live* entry list is returned (it unpacks exactly like the old
-        ``(time, seq, callback, args)`` tuple) so a caller that re-inserts
-        it (e.g. a horizon pause) can hand the same list back to
-        :meth:`push_entry`; any :class:`Event` handle wrapping the entry
-        then stays valid across the re-insert — ``cancel()`` keeps working.
+        The *live* entry list is returned (its first four slots unpack
+        exactly like the old ``(time, seq, callback, args)`` tuple) so a
+        caller that re-inserts it (e.g. a horizon pause) can hand the
+        same list back to :meth:`push_entry`; any :class:`Event` handle
+        wrapping the entry then stays valid across the re-insert —
+        ``cancel()`` keeps working.
         """
         heap = self._heap
         while heap:
             entry = heapq.heappop(heap)
+            entry[_IN_HEAP] = False
             if entry[_CALLBACK] is not None:
+                self._live -= 1
                 return entry
         return None
 
     def pop(self) -> Optional[Event]:
         """Remove and return the earliest live event, or ``None`` when empty."""
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            if entry[_CALLBACK] is not None:
-                return Event(entry)
-        return None
+        entry = self.pop_entry()
+        if entry is None:
+            return None
+        return Event(entry, self)
 
     def push_entry(
         self,
@@ -123,21 +157,40 @@ class EventQueue:
         discarded list and the event would fire anyway.
         """
         if entry is not None:
+            entry[_IN_HEAP] = True
             heapq.heappush(self._heap, entry)
+            if entry[_CALLBACK] is not None:
+                self._live += 1
             return
         if seq is None:
             seq = self._seq
             self._seq += 1
-        heapq.heappush(self._heap, [time, seq, callback, args])
+        heapq.heappush(self._heap, [time, seq, callback, args, True])
+        self._live += 1
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event without removing it."""
         heap = self._heap
         while heap and heap[0][_CALLBACK] is None:
-            heapq.heappop(heap)
+            heapq.heappop(heap)[_IN_HEAP] = False
         if not heap:
             return None
         return heap[0][_TIME]
 
     def clear(self) -> None:
+        """Drop every pending entry (live or cancelled)."""
+        for entry in self._heap:
+            entry[_IN_HEAP] = False
         self._heap.clear()
+        self._live = 0
+
+    def reset(self) -> None:
+        """Return the queue to its just-constructed state.
+
+        Unlike :meth:`clear`, the sequence counter rewinds too, so a
+        reset queue schedules events with the same seqs as a fresh one —
+        checkpoints taken after a reset compare bit-identical to those
+        from a new kernel.
+        """
+        self.clear()
+        self._seq = 0

@@ -81,7 +81,7 @@ class SimulationKernel:
                 popped = queue.pop_entry()
                 if popped is None:
                     break
-                time, seq, callback, args = popped
+                time, seq, callback, args = popped[:4]
                 if until is not None and time > until:
                     # Re-insert the *same* entry list: its seq keeps the
                     # FIFO slot among same-time events, and Event handles
@@ -106,8 +106,14 @@ class SimulationKernel:
         self._running = False
 
     def reset(self) -> None:
-        """Drop all pending events and rewind the clock to zero."""
-        self._queue.clear()
+        """Drop all pending events and rewind the clock to zero.
+
+        The event queue's sequence counter rewinds with it: a reset
+        kernel must be indistinguishable from a fresh one, or
+        checkpoints taken after a reset carry a different ``queue_seq``
+        and bit-identical state comparison across resets breaks.
+        """
+        self._queue.reset()
         self._now = 0.0
         self._events_processed = 0
 

@@ -39,6 +39,12 @@ class MissRateCurve:
             )
         if any(m < 0 for m in self.mpki):
             raise PredictionError(f"MPKI values must be non-negative: {self.mpki}")
+        if self.miss_ratio and len(self.miss_ratio) != len(self.mpki):
+            raise PredictionError(
+                f"{self.workload}: miss_ratio has {len(self.miss_ratio)} "
+                f"entries for {len(self.mpki)} curve points; diagnostics "
+                "must align with the sampled capacities"
+            )
 
     def __len__(self) -> int:
         return len(self.capacities_bytes)
@@ -81,11 +87,29 @@ def curve_from_samples(
     samples: Sequence[Tuple[int, float]],
     miss_ratio: Sequence[float] = (),
 ) -> MissRateCurve:
-    """Build a curve from unsorted ``(capacity_bytes, mpki)`` samples."""
-    ordered = sorted(samples)
+    """Build a curve from unsorted ``(capacity_bytes, mpki)`` samples.
+
+    ``miss_ratio[i]`` is the diagnostic miss ratio measured at
+    ``samples[i]`` and is reordered *with* its sample: sorting the
+    samples while passing the ratios through in caller order would
+    silently misalign the diagnostics whenever the caller's samples
+    were not already capacity-sorted.
+    """
+    if miss_ratio and len(miss_ratio) != len(samples):
+        raise PredictionError(
+            f"{workload}: got {len(miss_ratio)} miss_ratio values for "
+            f"{len(samples)} samples"
+        )
+    if miss_ratio:
+        ordered = sorted(zip(samples, miss_ratio))
+        ratios = tuple(r for __, r in ordered)
+        pairs = [pair for pair, __ in ordered]
+    else:
+        ratios = ()
+        pairs = sorted(samples)
     return MissRateCurve(
         workload=workload,
-        capacities_bytes=tuple(c for c, __ in ordered),
-        mpki=tuple(m for __, m in ordered),
-        miss_ratio=tuple(miss_ratio),
+        capacities_bytes=tuple(c for c, __ in pairs),
+        mpki=tuple(m for __, m in pairs),
+        miss_ratio=ratios,
     )

@@ -41,6 +41,11 @@ from repro.obs.profile_hooks import (
     obs_enabled,
     uninstall,
 )
+from repro.obs.resources import (
+    PEAK_RSS_GAUGE,
+    peak_rss_bytes,
+    sample_peak_rss,
+)
 from repro.obs.tracing import Tracer, get_tracer
 
 __all__ = [
@@ -60,9 +65,26 @@ __all__ = [
     "validate_trace_events",
     "write_chrome_trace",
     "write_metrics",
+    "run_phase",
+    "peak_rss_bytes",
+    "sample_peak_rss",
+    "PEAK_RSS_GAUGE",
     "OBS_ENV",
     "SPILL_ENV",
 ]
+
+
+def run_phase(name: str, **args):
+    """Span context manager for one named phase of a run.
+
+    Phases are the coarse, human-named stages of a campaign ("cold
+    campaign", "warm campaign", "accuracy") — one level above the
+    per-run spans the profile hooks record.  They export under the
+    ``phase`` category so a Chrome trace shows the run's outline at a
+    glance, and the benchmark harness uses the recorded durations to
+    cross-check its own wall-clock measurements.
+    """
+    return get_tracer().span(f"phase:{name}", cat="phase", **args)
 
 _log = get_logger("obs")
 
@@ -93,6 +115,9 @@ class ObsSession:
         """Write the requested artifacts and clean the spill directory."""
         if not self.active:
             return
+        # The high-water mark is free to read and belongs in every
+        # metrics snapshot: memory is a first-class benchmarked metric.
+        sample_peak_rss(get_registry())
         tracer = get_tracer()
         if self.trace_out:
             events = write_chrome_trace(

@@ -1,0 +1,46 @@
+"""Process resource gauges: peak RSS.
+
+The benchmark harness (and any CLI with ``--metrics-out``) reports the
+process's peak resident set size so memory regressions are tracked with
+the same trajectory machinery as throughput regressions.  The reading
+comes from ``getrusage`` — a high-water mark maintained by the kernel,
+so sampling it once at the end of a run is exact, not a poll race.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover
+    _resource = None
+
+__all__ = ["PEAK_RSS_GAUGE", "peak_rss_bytes", "sample_peak_rss"]
+
+#: Gauge name the peak-RSS sample lands under in metrics snapshots.
+PEAK_RSS_GAUGE = "process.peak_rss_bytes"
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; both are
+    normalized to bytes here.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak * 1024)
+
+
+def sample_peak_rss(registry: Optional[MetricsRegistry] = None) -> int:
+    """Record the current peak RSS into ``registry`` and return it."""
+    peak = peak_rss_bytes()
+    (registry or get_registry()).set_gauge(PEAK_RSS_GAUGE, peak)
+    return peak

@@ -1,0 +1,145 @@
+"""Baseline comparator: per-family thresholds, direction, failure modes."""
+
+import copy
+
+import pytest
+
+from repro.bench import Thresholds, compare_artifacts
+
+from tests.bench.test_schema import make_artifact
+
+
+def modified(path, value):
+    """A copy of the canonical artifact with one leaf replaced."""
+    document = copy.deepcopy(make_artifact())
+    node = document
+    for key in path[:-1]:
+        node = node[key]
+    node[path[-1]] = value
+    return document
+
+
+class TestNoRegression:
+    def test_identical_artifacts_pass(self):
+        assert compare_artifacts(make_artifact(), make_artifact()) == []
+
+    def test_improvement_passes(self):
+        faster = modified(
+            ("workload_classes", "super-linear", "sim_cycles_per_sec"), 5e6
+        )
+        assert compare_artifacts(make_artifact(), faster) == []
+
+    def test_small_slowdown_within_tolerance_passes(self):
+        # Default walltime tolerance is +150%; a 2x slowdown passes.
+        slower = modified(("campaign", "cold_wall_s"), 40.0)
+        assert compare_artifacts(make_artifact(), slower) == []
+
+    def test_extra_class_in_current_is_not_a_regression(self):
+        current = copy.deepcopy(make_artifact())
+        current["workload_classes"]["linear"] = copy.deepcopy(
+            current["workload_classes"]["super-linear"]
+        )
+        current["workload_classes"]["linear"]["benchmarks"] = ["bs"]
+        assert compare_artifacts(make_artifact(), current) == []
+
+
+class TestRegressions:
+    def test_throughput_collapse_fails(self):
+        # Baseline 250k cycles/s; default tolerance allows down to 125k.
+        slow = modified(
+            ("workload_classes", "super-linear", "sim_cycles_per_sec"), 100000.0
+        )
+        regressions = compare_artifacts(make_artifact(), slow)
+        assert len(regressions) == 1
+        assert regressions[0].family == "throughput"
+        assert "sim_cycles_per_sec" in regressions[0].metric
+
+    def test_warp_throughput_gated_separately(self):
+        slow = modified(
+            ("workload_classes", "super-linear", "warp_instructions_per_sec"),
+            1000.0,
+        )
+        regressions = compare_artifacts(make_artifact(), slow)
+        assert [r.metric for r in regressions] == [
+            "super-linear.warp_instructions_per_sec"
+        ]
+
+    def test_walltime_blowup_fails(self):
+        slower = modified(("campaign", "cold_wall_s"), 200.0)
+        regressions = compare_artifacts(make_artifact(), slower)
+        assert [r.family for r in regressions] == ["walltime"]
+
+    def test_mape_growth_beyond_pp_tolerance_fails(self):
+        # Baseline MAPE 3.5%; default tolerance is +1.0pp.
+        worse = modified(("accuracy", "super-linear", "mape_pct"), 5.1)
+        regressions = compare_artifacts(make_artifact(), worse)
+        assert [r.family for r in regressions] == ["accuracy"]
+
+    def test_mape_within_pp_tolerance_passes(self):
+        worse = modified(("accuracy", "super-linear", "mape_pct"), 4.4)
+        assert compare_artifacts(make_artifact(), worse) == []
+
+    def test_rss_doubling_plus_fails(self):
+        bigger = modified(("memory", "peak_rss_bytes"), 800 * 2**20)
+        regressions = compare_artifacts(make_artifact(), bigger)
+        assert [r.family for r in regressions] == ["memory"]
+
+    def test_lost_workload_class_fails(self):
+        current = copy.deepcopy(make_artifact())
+        baseline = copy.deepcopy(make_artifact())
+        baseline["workload_classes"]["linear"] = copy.deepcopy(
+            baseline["workload_classes"]["super-linear"]
+        )
+        regressions = compare_artifacts(baseline, current)
+        assert any("missing" in r.metric for r in regressions)
+
+    def test_lost_regime_fails(self):
+        baseline = copy.deepcopy(make_artifact())
+        baseline["accuracy"]["linear"] = {
+            "mape_pct": 1.0, "max_ape_pct": 2.0, "count": 1
+        }
+        regressions = compare_artifacts(baseline, make_artifact())
+        assert any(r.family == "accuracy" for r in regressions)
+
+
+class TestThresholdKnobs:
+    def test_tight_throughput_threshold(self):
+        slow = modified(
+            ("workload_classes", "super-linear", "sim_cycles_per_sec"), 240000.0
+        )
+        tight = Thresholds(throughput_frac=0.01)
+        assert compare_artifacts(make_artifact(), slow, tight) != []
+        assert compare_artifacts(make_artifact(), slow) == []
+
+    def test_loose_walltime_threshold(self):
+        slower = modified(("campaign", "cold_wall_s"), 200.0)
+        loose = Thresholds(walltime_frac=10.0)
+        assert compare_artifacts(make_artifact(), slower, loose) == []
+
+    def test_zero_mape_tolerance(self):
+        worse = modified(("accuracy", "super-linear", "mape_pct"), 3.6)
+        strict = Thresholds(mape_pp=0.0)
+        assert compare_artifacts(make_artifact(), worse, strict) != []
+
+
+class TestCompareErrors:
+    def test_rejects_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            compare_artifacts({"kind": "junk"}, make_artifact())
+
+    def test_rejects_invalid_current(self):
+        with pytest.raises(ValueError):
+            compare_artifacts(make_artifact(), {"kind": "junk"})
+
+    def test_rejects_tier_mismatch(self):
+        with pytest.raises(ValueError):
+            compare_artifacts(make_artifact(), make_artifact(tier="full"))
+
+    def test_regression_renders_readably(self):
+        slow = modified(
+            ("workload_classes", "super-linear", "sim_cycles_per_sec"), 1.0
+        )
+        (regression,) = compare_artifacts(make_artifact(), slow)
+        text = str(regression)
+        assert "throughput" in text
+        assert "baseline" in text

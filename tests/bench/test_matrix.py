@@ -1,0 +1,66 @@
+"""Bench matrix determinism and shape tests."""
+
+import pytest
+
+from repro.bench import BenchCase, BenchMatrix, full_matrix, matrix_for_tier, quick_matrix
+from repro.exceptions import ReproError
+from repro.workloads import STRONG_SCALING
+
+
+class TestQuickMatrix:
+    def test_deterministic(self):
+        # The quick tier is the CI gate: two constructions must agree on
+        # every case, scale, target and the seed.
+        assert quick_matrix() == quick_matrix()
+
+    def test_one_case_per_scaling_class(self):
+        groups = quick_matrix().by_class()
+        assert sorted(groups) == ["linear", "sub-linear", "super-linear"]
+        assert all(len(cases) == 1 for cases in groups.values())
+
+    def test_fixed_seed(self):
+        assert quick_matrix().seed == 0
+
+    def test_run_count_counts_sims_and_mrcs(self):
+        matrix = quick_matrix()
+        # 3 cases x (2 scales + 1 target) sims + 3 MRC collections.
+        assert matrix.run_count == 12
+
+
+class TestFullMatrix:
+    def test_covers_every_strong_scaling_benchmark(self):
+        abbrs = {case.abbr for case in full_matrix().cases}
+        assert abbrs == set(STRONG_SCALING)
+
+    def test_two_targets(self):
+        assert all(case.targets == (32, 64) for case in full_matrix().cases)
+
+
+class TestMatrixValidation:
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ReproError):
+            BenchCase("definitely-not-a-benchmark")
+
+    def test_single_scale_rejected(self):
+        with pytest.raises(ReproError):
+            BenchCase("va", scales=(8,))
+
+    def test_target_below_largest_scale_rejected(self):
+        with pytest.raises(ReproError):
+            BenchCase("va", scales=(8, 16), targets=(12,))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ReproError):
+            BenchMatrix(tier="quick", cases=())
+
+    def test_duplicate_benchmarks_rejected(self):
+        with pytest.raises(ReproError):
+            BenchMatrix(tier="quick", cases=(BenchCase("va"), BenchCase("va")))
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ReproError):
+            matrix_for_tier("nightly")
+
+    def test_sizes_order_scales_then_targets(self):
+        case = BenchCase("va", scales=(8, 16), targets=(32,))
+        assert case.sizes == (8, 16, 32)

@@ -1,0 +1,125 @@
+"""Artifact schema validation and JSON round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.bench import ARTIFACT_KIND, SCHEMA_VERSION, validate_artifact
+
+
+def make_artifact(**overrides):
+    """A minimal schema-valid quick-tier artifact."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": ARTIFACT_KIND,
+        "tier": "quick",
+        "created_unix": 1700000000.0,
+        "host": {"python": "3.12.0", "platform": "linux", "cpu_count": 4,
+                 "jobs": 1},
+        "matrix": {
+            "seed": 0,
+            "cases": [{"abbr": "va", "scales": [8, 16], "targets": [32]}],
+        },
+        "workload_classes": {
+            "super-linear": {
+                "benchmarks": ["va"],
+                "sim_cycles_per_sec": 250000.0,
+                "warp_instructions_per_sec": 1.5e6,
+                "events_per_sec": 120000.0,
+                "simulated_cycles": 1.2e6,
+                "warp_instructions": 7.2e6,
+                "wall_time_s": 4.8,
+            },
+        },
+        "campaign": {
+            "cold_wall_s": 20.0,
+            "warm_wall_s": 0.5,
+            "runs": 4,
+            "warm_hits": 4,
+            "warm_misses": 0,
+        },
+        "accuracy": {
+            "super-linear": {"mape_pct": 3.5, "max_ape_pct": 6.0, "count": 1},
+        },
+        "memory": {"peak_rss_bytes": 180 * 2**20},
+        "cross_check": {"engine_loop_s": 4.5, "harness_sim_wall_s": 4.8},
+    }
+    document.update(overrides)
+    return document
+
+
+class TestValidArtifacts:
+    def test_minimal_artifact_is_valid(self):
+        assert validate_artifact(make_artifact()) == []
+
+    def test_survives_json_round_trip(self):
+        document = make_artifact()
+        restored = json.loads(json.dumps(document))
+        assert validate_artifact(restored) == []
+        assert restored == document
+
+    def test_cross_check_is_optional(self):
+        document = make_artifact()
+        del document["cross_check"]
+        assert validate_artifact(document) == []
+
+    def test_full_tier_accepted(self):
+        assert validate_artifact(make_artifact(tier="full")) == []
+
+
+class TestInvalidArtifacts:
+    def test_non_object_rejected(self):
+        assert validate_artifact([1, 2]) != []
+        assert validate_artifact(None) != []
+
+    def test_wrong_kind(self):
+        problems = validate_artifact(make_artifact(kind="not-a-bench"))
+        assert any("kind" in p for p in problems)
+
+    def test_wrong_schema_version(self):
+        problems = validate_artifact(
+            make_artifact(schema_version=SCHEMA_VERSION + 1)
+        )
+        assert any("schema_version" in p for p in problems)
+
+    def test_unknown_tier(self):
+        problems = validate_artifact(make_artifact(tier="nightly"))
+        assert any("tier" in p for p in problems)
+
+    def test_missing_class_metric(self):
+        document = make_artifact()
+        del document["workload_classes"]["super-linear"]["sim_cycles_per_sec"]
+        problems = validate_artifact(document)
+        assert any("sim_cycles_per_sec" in p for p in problems)
+
+    def test_non_numeric_metric(self):
+        document = make_artifact()
+        document["campaign"]["cold_wall_s"] = "fast"
+        problems = validate_artifact(document)
+        assert any("cold_wall_s" in p for p in problems)
+
+    def test_boolean_is_not_a_number(self):
+        document = make_artifact()
+        document["memory"]["peak_rss_bytes"] = True
+        problems = validate_artifact(document)
+        assert any("peak_rss_bytes" in p for p in problems)
+
+    def test_negative_metric(self):
+        document = make_artifact()
+        document["campaign"]["warm_wall_s"] = -1.0
+        problems = validate_artifact(document)
+        assert any("warm_wall_s" in p for p in problems)
+
+    def test_empty_workload_classes(self):
+        problems = validate_artifact(make_artifact(workload_classes={}))
+        assert any("workload_classes" in p for p in problems)
+
+    def test_empty_benchmark_list(self):
+        document = make_artifact()
+        document["workload_classes"]["super-linear"]["benchmarks"] = []
+        problems = validate_artifact(document)
+        assert any("benchmarks" in p for p in problems)
+
+    def test_missing_accuracy(self):
+        problems = validate_artifact(make_artifact(accuracy={}))
+        assert any("accuracy" in p for p in problems)

@@ -13,7 +13,7 @@ class TestOrdering:
         q.push(1.0, fired.append, "a")
         q.push(2.0, fired.append, "b")
         while (entry := q.pop_entry()) is not None:
-            __, __, callback, args = entry
+            __, __, callback, args = entry[:4]
             callback(*args)
         assert fired == ["a", "b", "c"]
 
@@ -91,7 +91,7 @@ class TestEventHandle:
         q = EventQueue()
         fired = []
         q.push(5.0, fired.append, "paused")
-        time, seq, callback, args = q.pop_entry()
+        time, seq, callback, args = q.pop_entry()[:4]
         q.push(5.0, fired.append, "late")
         q.push_entry(time, callback, args, seq=seq)
         while (entry := q.pop_entry()) is not None:
@@ -135,3 +135,77 @@ class TestEventHandle:
         q.push(1.0, lambda: None)
         q.clear()
         assert len(q) == 0
+
+
+class TestLiveCount:
+    def test_len_excludes_cancelled_entries(self):
+        # Regression: a cancelled event lingers in the heap until popped,
+        # and len() used to count the corpse.
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        handle.cancel()
+        assert len(q) == 1
+
+    def test_len_zero_when_only_corpses_remain(self):
+        q = EventQueue()
+        handles = [q.push(float(i), lambda: None) for i in range(4)]
+        for handle in handles:
+            handle.cancel()
+        assert len(q) == 0
+
+    def test_double_cancel_does_not_double_count(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        # Cancelling a handle whose entry already left the heap must not
+        # decrement the live count of events still queued.
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.pop()  # removes `first`
+        first.cancel()
+        assert len(q) == 1
+
+    def test_cancel_after_clear_does_not_corrupt_count(self):
+        q = EventQueue()
+        handle = q.push(1.0, lambda: None)
+        q.clear()
+        handle.cancel()
+        q.push(2.0, lambda: None)
+        assert len(q) == 1
+
+    def test_reinserted_entry_counts_once(self):
+        q = EventQueue()
+        handle = q.push(5.0, lambda: None)
+        popped = q.pop_entry()
+        assert len(q) == 0
+        q.push_entry(popped[0], popped[2], popped[3], seq=popped[1],
+                     entry=popped)
+        assert len(q) == 1
+        handle.cancel()
+        assert len(q) == 0
+
+    def test_peek_time_keeps_count(self):
+        q = EventQueue()
+        dead = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        dead.cancel()
+        assert q.peek_time() == 2.0
+        assert len(q) == 1
+
+    def test_reset_rewinds_seq(self):
+        # Regression: clear() kept the seq counter, so a reset queue and
+        # a fresh queue disagreed on checkpointed queue_seq.
+        q = EventQueue()
+        q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        q.reset()
+        assert q.seq == 0
+        assert len(q) == 0
+        assert q.push(1.0, lambda: None).seq == EventQueue().push(1.0, lambda: None).seq

@@ -115,3 +115,51 @@ class TestRunControl:
         assert k.now == 0.0
         assert k.pending_events == 0
         assert k.events_processed == 0
+
+
+class TestCheckpointState:
+    def test_snapshot_allowed_with_only_cancelled_events(self):
+        # Regression: cancelled entries linger in the heap until popped,
+        # and state_dict() used to refuse a kernel-boundary snapshot
+        # because len(queue) counted the corpses.
+        k = SimulationKernel()
+        k.schedule_at(1.0, lambda: None)
+        handle = k.schedule_at(9.0, lambda: None)
+        k.run(until=1.0)
+        handle.cancel()
+        assert k.pending_events == 0
+        state = k.state_dict()
+        assert state["now"] == 1.0
+        assert state["events_processed"] == 1
+
+    def test_snapshot_refused_with_live_events(self):
+        k = SimulationKernel()
+        k.schedule_at(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            k.state_dict()
+
+    def test_reset_kernel_checkpoints_like_fresh_kernel(self):
+        # Regression: reset() kept the queue's seq counter, so the same
+        # schedule replayed after a reset checkpointed a different
+        # queue_seq than a fresh kernel — breaking bit-identical state
+        # comparison across resets.
+        def drive(kernel):
+            kernel.schedule(1.0, lambda: None)
+            kernel.schedule(2.0, lambda: None)
+            kernel.run()
+            return kernel.state_dict()
+
+        fresh = drive(SimulationKernel())
+        reused = SimulationKernel()
+        drive(reused)
+        reused.reset()
+        assert drive(reused) == fresh
+
+    def test_cancelled_events_survive_in_load_state_gate(self):
+        # load_state must accept a queue holding only corpses too.
+        k = SimulationKernel()
+        handle = k.schedule(3.0, lambda: None)
+        handle.cancel()
+        k.load_state({"now": 7.0, "events_processed": 4, "queue_seq": 9})
+        assert k.now == 7.0
+        assert k.schedule(1.0, lambda: None).seq == 9

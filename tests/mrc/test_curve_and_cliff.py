@@ -50,6 +50,38 @@ class TestMissRateCurve:
         assert c.capacities_bytes == (100, 200)
         assert c.mpki == (2.0, 1.0)
 
+    def test_curve_from_samples_reorders_miss_ratio_with_samples(self):
+        # Regression: samples were sorted by capacity but miss_ratio was
+        # passed through in caller order, silently misaligning the
+        # diagnostics for unsorted inputs.
+        c = curve_from_samples(
+            "w",
+            [(200, 1.0), (100, 2.0), (400, 0.5)],
+            miss_ratio=[0.2, 0.4, 0.1],
+        )
+        assert c.capacities_bytes == (100, 200, 400)
+        assert c.mpki == (2.0, 1.0, 0.5)
+        assert c.miss_ratio == (0.4, 0.2, 0.1)
+
+    def test_curve_from_samples_sorted_input_keeps_miss_ratio(self):
+        c = curve_from_samples(
+            "w", [(100, 2.0), (200, 1.0)], miss_ratio=[0.4, 0.2]
+        )
+        assert c.miss_ratio == (0.4, 0.2)
+
+    def test_curve_from_samples_rejects_miss_ratio_length_mismatch(self):
+        with pytest.raises(PredictionError):
+            curve_from_samples(
+                "w", [(100, 2.0), (200, 1.0)], miss_ratio=[0.4]
+            )
+
+    def test_curve_rejects_miss_ratio_length_mismatch(self):
+        with pytest.raises(PredictionError):
+            MissRateCurve("w", (100, 200), (2.0, 1.0), miss_ratio=(0.4,))
+        # Empty miss_ratio stays allowed (diagnostics are optional).
+        c = MissRateCurve("w", (100, 200), (2.0, 1.0))
+        assert c.miss_ratio == ()
+
     def test_as_rows(self):
         rows = curve([2.0, 1.0]).as_rows()
         assert rows == [(2.125, 2.0), (4.25, 1.0)]

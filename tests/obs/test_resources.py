@@ -1,0 +1,47 @@
+"""Peak-RSS gauge and run-phase span tests."""
+
+from repro.obs import PEAK_RSS_GAUGE, peak_rss_bytes, run_phase, sample_peak_rss
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+class TestPeakRss:
+    def test_reports_positive_bytes(self):
+        # A live Python process holds tens of MiB at minimum.
+        assert peak_rss_bytes() > 10 * 2**20
+
+    def test_monotonic_high_water_mark(self):
+        before = peak_rss_bytes()
+        ballast = bytearray(8 * 2**20)
+        after = peak_rss_bytes()
+        del ballast
+        assert after >= before
+
+    def test_sample_lands_in_registry_gauge(self):
+        registry = MetricsRegistry()
+        value = sample_peak_rss(registry)
+        assert registry.gauge(PEAK_RSS_GAUGE).value == value
+        assert value == peak_rss_bytes()
+
+
+class TestRunPhase:
+    def test_disabled_tracer_is_noop(self):
+        with run_phase("bench.cold", tier="quick"):
+            pass  # must not raise nor record anywhere
+
+    def test_records_phase_category_span(self, tmp_path):
+        tracer = Tracer()
+        tracer.enable()
+        import repro.obs.tracing as tracing
+        original = tracing._TRACER
+        tracing._TRACER = tracer
+        try:
+            with run_phase("bench.cold", tier="quick"):
+                pass
+        finally:
+            tracing._TRACER = original
+        events = tracer.events()
+        assert len(events) == 1
+        assert events[0]["name"] == "phase:bench.cold"
+        assert events[0]["cat"] == "phase"
+        assert events[0]["args"]["tier"] == "quick"

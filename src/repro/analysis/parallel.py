@@ -78,7 +78,14 @@ from repro.obs.tracing import get_tracer
 from repro.resilience import CircuitBreaker, apply_memory_limit, get_coordinator
 from repro.workloads.spec import BenchmarkSpec
 
-__all__ = ["RunRequest", "ParallelRunner", "execute_request", "execute_attempt"]
+__all__ = [
+    "RunRequest",
+    "ParallelRunner",
+    "execute_request",
+    "execute_attempt",
+    "worker_init",
+    "shutdown_pool",
+]
 
 KINDS = ("sim", "mcm", "mrc")
 
@@ -204,7 +211,7 @@ def execute_attempt(
             tracer.flush_spill()
 
 
-def _worker_init() -> None:
+def worker_init() -> None:
     """Pool-worker bootstrap, run once per worker process.
 
     Workers share the foreground process group, so an operator Ctrl-C
@@ -213,7 +220,7 @@ def _worker_init() -> None:
     their results collected, not die mid-computation.  SIGTERM is reset
     to its *default* — forked workers inherit the coordinator's drain
     handler from the parent, which would otherwise swallow the SIGTERM
-    that :func:`_shutdown_pool` uses to put down hung workers.  The
+    that :func:`shutdown_pool` uses to put down hung workers.  The
     optional ``REPRO_MAX_RSS`` ceiling is applied per worker for the
     same reason: one pathological run should raise :class:`MemoryError`
     in its own process, not invite the OOM killer.
@@ -226,7 +233,7 @@ def _worker_init() -> None:
     apply_memory_limit()
 
 
-def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+def shutdown_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down without waiting on hung or dead workers.
 
     ``shutdown(wait=True)`` would block forever behind a hung run, so
@@ -243,6 +250,13 @@ def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
             worker.terminate()
         except Exception:
             pass
+
+
+# Historical (pre-service) private names; the watchdog machinery is now
+# shared with repro.service.supervisor, so the public names above are
+# canonical.
+_worker_init = worker_init
+_shutdown_pool = shutdown_pool
 
 
 class _BatchState:
@@ -537,7 +551,7 @@ class ParallelRunner:
         seq = itertools.count()
         inflight: Dict = {}  # future -> (request, attempt, deadline)
         pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=_worker_init
+            max_workers=workers, initializer=worker_init
         )
         try:
             while queue or retries or inflight:
@@ -647,7 +661,7 @@ class ParallelRunner:
                             "pool.death", cat="run",
                             args={"deaths": state.pool_deaths},
                         )
-                    _shutdown_pool(pool)
+                    shutdown_pool(pool)
                     if state.pool_deaths >= policy.max_pool_deaths:
                         state.degraded = True
                         if tracer.enabled:
@@ -672,7 +686,7 @@ class ParallelRunner:
                         self._run_serial(remaining, outcomes, executed)
                         return
                     pool = ProcessPoolExecutor(
-                        max_workers=workers, initializer=_worker_init
+                        max_workers=workers, initializer=worker_init
                     )
                     continue
                 # Per-run timeout sweep: abandon expired runs, recycle the
@@ -703,12 +717,12 @@ class ParallelRunner:
                         future.cancel()
                         queue.append((request, attempt))
                     inflight.clear()
-                    _shutdown_pool(pool)
+                    shutdown_pool(pool)
                     pool = ProcessPoolExecutor(
-                        max_workers=workers, initializer=_worker_init
+                        max_workers=workers, initializer=worker_init
                     )
         finally:
-            _shutdown_pool(pool)
+            shutdown_pool(pool)
 
     def _drain(
         self,

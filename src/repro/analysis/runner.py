@@ -51,7 +51,7 @@ from repro.analysis.faults import (
 from repro.analysis.simcache import ResultStore
 from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
 from repro.exceptions import ExecutionError, ReproError
-from repro.resilience import CircuitBreaker, get_coordinator
+from repro.resilience import CircuitBreaker, get_coordinator, tolerant_env
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
@@ -65,15 +65,9 @@ DEFAULT_CACHE = os.path.join("results", "simcache")
 
 def default_jobs() -> int:
     """Worker count: ``REPRO_JOBS`` if set, else ``cpu_count() - 1``."""
-    env = os.environ.get("REPRO_JOBS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            warnings.warn(
-                f"REPRO_JOBS={env!r} is not an integer; falling back to "
-                "cpu_count() - 1"
-            )
+    jobs = tolerant_env("REPRO_JOBS", None, int, expected="an integer")
+    if jobs is not None:
+        return max(1, jobs)
     return max(1, (os.cpu_count() or 2) - 1)
 
 

@@ -137,6 +137,26 @@ class ResultStore:
         """Membership test that does not touch the hit/miss telemetry."""
         return key in self._entries
 
+    def peek(self, key: str) -> Optional[dict]:
+        """Payload lookup that does not touch the hit/miss telemetry.
+
+        The service's admission path answers "would this be a cache
+        hit?" without committing to serving it; counting those probes
+        as hits would inflate the cache stats the ``/statsz`` endpoint
+        and the CI smoke assert on.
+        """
+        return self._entries.get(key)
+
+    @property
+    def pending(self) -> int:
+        """Records staged but not yet durably appended to a shard.
+
+        Zero after a successful :meth:`flush`; the graceful-drain path
+        asserts on it before exiting so "completed results flushed"
+        is checked, not assumed.
+        """
+        return len(self._pending)
+
     def __len__(self) -> int:
         return len(self._entries)
 

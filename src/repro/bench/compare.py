@@ -42,6 +42,13 @@ class Thresholds:
     mape_pp: float = 1.0
     #: Allowed fractional peak-RSS growth (1.0 = new may use 2x).
     rss_frac: float = 1.0
+    #: Allowed fractional service-latency growth (p50/p95/p99).
+    service_latency_frac: float = 1.5
+    #: Allowed fractional service-throughput loss.
+    service_throughput_frac: float = 0.5
+    #: Allowed shed-rate growth in absolute fraction points
+    #: (0.15 = a baseline shedding 5% may shed up to 20%).
+    service_shed_pts: float = 0.15
 
 
 @dataclass(frozen=True)
@@ -155,5 +162,39 @@ def compare_artifacts(
         current["memory"]["peak_rss_bytes"],
         thresholds.rss_frac,
     )
+
+    # The service family gates only once a baseline carries it — older
+    # baselines predate service mode and must keep comparing clean.  A
+    # baseline that has the block and a current that lost it is a
+    # regression (the load harness stopped running), not a skip.
+    base_service = baseline.get("service")
+    if base_service is not None:
+        cur_service = current.get("service")
+        if cur_service is None:
+            regressions.append(
+                Regression("service", "service (missing)", 1.0, 0.0, 1.0)
+            )
+        else:
+            for metric in ("p50_ms", "p95_ms", "p99_ms"):
+                _check_lower_better(
+                    regressions, "service", metric,
+                    base_service[metric], cur_service[metric],
+                    thresholds.service_latency_frac,
+                )
+            _check_higher_better(
+                regressions, "service", "throughput_rps",
+                base_service["throughput_rps"],
+                cur_service["throughput_rps"],
+                thresholds.service_throughput_frac,
+            )
+            shed_limit = base_service["shed_rate"] + thresholds.service_shed_pts
+            if cur_service["shed_rate"] > shed_limit:
+                regressions.append(
+                    Regression(
+                        "service", "shed_rate",
+                        base_service["shed_rate"],
+                        cur_service["shed_rate"], shed_limit,
+                    )
+                )
 
     return regressions

@@ -15,7 +15,13 @@ from __future__ import annotations
 import numbers
 from typing import Any, List
 
-__all__ = ["SCHEMA_VERSION", "ARTIFACT_KIND", "TIERS", "validate_artifact"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "ARTIFACT_KIND",
+    "TIERS",
+    "SERVICE_METRICS",
+    "validate_artifact",
+]
 
 #: Bump on any breaking change to the artifact layout.
 SCHEMA_VERSION = 1
@@ -39,6 +45,16 @@ ACCURACY_METRICS = ("mape_pct", "max_ape_pct", "count")
 
 #: Campaign-level wall-clock metrics.
 CAMPAIGN_METRICS = ("cold_wall_s", "warm_wall_s", "runs", "warm_hits", "warm_misses")
+
+#: Service-mode metrics (optional block, emitted by scripts/service_load.py).
+SERVICE_METRICS = (
+    "p50_ms",
+    "p95_ms",
+    "p99_ms",
+    "throughput_rps",
+    "shed_rate",
+    "requests",
+)
 
 
 def _is_number(value: Any) -> bool:
@@ -125,5 +141,16 @@ def validate_artifact(document: Any) -> List[str]:
             problems, "cross_check", cross,
             ("engine_loop_s", "harness_sim_wall_s"),
         )
+
+    service = document.get("service")
+    if service is not None:
+        _check_metric_block(problems, "service", service, SERVICE_METRICS)
+        if isinstance(service, dict):
+            shed_rate = service.get("shed_rate")
+            if _is_number(shed_rate) and shed_rate > 1:
+                problems.append(
+                    f"service.shed_rate: expected a fraction in [0, 1], "
+                    f"got {shed_rate!r}"
+                )
 
     return problems

@@ -9,6 +9,7 @@ so sampling it once at the end of a run is exact, not a poll race.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Optional
 
@@ -19,7 +20,12 @@ try:  # pragma: no cover - absent only on non-POSIX platforms
 except ImportError:  # pragma: no cover
     _resource = None
 
-__all__ = ["PEAK_RSS_GAUGE", "peak_rss_bytes", "sample_peak_rss"]
+__all__ = [
+    "PEAK_RSS_GAUGE",
+    "peak_rss_bytes",
+    "current_rss_bytes",
+    "sample_peak_rss",
+]
 
 #: Gauge name the peak-RSS sample lands under in metrics snapshots.
 PEAK_RSS_GAUGE = "process.peak_rss_bytes"
@@ -37,6 +43,23 @@ def peak_rss_bytes() -> int:
     if sys.platform == "darwin":
         return int(peak)
     return int(peak * 1024)
+
+
+def current_rss_bytes() -> int:
+    """Current resident set size in bytes (0 if unknown).
+
+    Unlike :func:`peak_rss_bytes` this is a *live* reading — the
+    long-running prediction service samples it per ``/statsz`` request,
+    where the high-water mark alone would hide a leak that grows and
+    shrinks.  Linux only (``/proc/self/statm``); elsewhere returns 0 and
+    callers fall back to the peak.
+    """
+    try:
+        with open("/proc/self/statm") as handle:
+            fields = handle.read().split()
+        return int(fields[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        return 0
 
 
 def sample_peak_rss(registry: Optional[MetricsRegistry] = None) -> int:

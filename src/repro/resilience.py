@@ -74,6 +74,10 @@ __all__ = [
     "apply_memory_limit",
     "CircuitBreaker",
     "breaker_threshold",
+    "parse_tolerant",
+    "tolerant_env",
+    "env_float",
+    "env_int",
 ]
 
 EXIT_OK = 0
@@ -95,6 +99,66 @@ DEFAULT_BREAKER_THRESHOLD = 3
 #: must stay import-free of the analysis package (which imports it).
 _BREAKER_FAILURE_STATUSES = frozenset(("failed", "timeout", "oom"))
 _BREAKER_RESET_STATUS = "ok"
+
+
+# --- tolerant environment parsing -------------------------------------------------
+
+def parse_tolerant(name, raw, default, parse, expected="a value"):
+    """Parse one knob value, degrading to ``default`` on garbage.
+
+    ``None``/empty ``raw`` silently yields ``default``; a value ``parse``
+    rejects (by raising ``ValueError``/``TypeError`` or returning
+    ``None``) yields ``default`` *with a warning naming the knob* —
+    never an exception.  ``expected`` finishes the warning sentence
+    ("is not a number", "is not a size (try 512M, 2G)", ...).
+    """
+    if raw is None or raw == "":
+        return default
+    try:
+        value = parse(raw)
+    except (TypeError, ValueError):
+        value = None
+    if value is None:
+        action = f"using {default}" if default is not None else "ignoring it"
+        warnings.warn(f"{name}={raw!r} is not {expected}; {action}")
+        return default
+    return value
+
+
+def tolerant_env(name, default, parse, expected="a value"):
+    """Read ``name`` from the environment, degrading to ``default`` on garbage.
+
+    The one shared policy for every ``REPRO_*`` tuning knob: a
+    long-running campaign or service must not refuse to start because an
+    operator fat-fingered a tuning knob; the conservative default plus a
+    loud warning is always the better failure mode.  See
+    :func:`parse_tolerant` for the parsing contract.
+    """
+    return parse_tolerant(name, os.environ.get(name), default, parse, expected)
+
+
+def _parse_nonneg_float(raw: str) -> Optional[float]:
+    value = float(raw)  # ValueError propagates to tolerant_env
+    return value if value >= 0 else None
+
+
+def _parse_nonneg_int(raw: str) -> Optional[int]:
+    value = int(raw)
+    return value if value >= 0 else None
+
+
+def env_float(name: str, default: float) -> float:
+    """A non-negative float knob (``REPRO_MIN_FREE_MB``-style), tolerant."""
+    return tolerant_env(
+        name, default, _parse_nonneg_float, expected="a non-negative number"
+    )
+
+
+def env_int(name: str, default: int) -> int:
+    """A non-negative integer knob (``REPRO_JOBS``-style), tolerant."""
+    return tolerant_env(
+        name, default, _parse_nonneg_int, expected="a non-negative integer"
+    )
 
 
 # --- graceful shutdown -----------------------------------------------------------
@@ -204,18 +268,6 @@ def _nearest_existing(path: str) -> str:
     return probe or os.path.abspath(os.sep)
 
 
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        value = float(raw)
-    except ValueError:
-        warnings.warn(f"{name}={raw!r} is not a number; using {default}")
-        return default
-    return value if value >= 0 else default
-
-
 class DiskGuard:
     """Free-space gate for the persistence seams.
 
@@ -241,10 +293,10 @@ class DiskGuard:
     ) -> None:
         if min_free_bytes is None:
             min_free_bytes = int(
-                _env_float(MIN_FREE_ENV, DEFAULT_MIN_FREE_MB) * 1024 * 1024
+                env_float(MIN_FREE_ENV, DEFAULT_MIN_FREE_MB) * 1024 * 1024
             )
         if interval is None:
-            interval = _env_float(
+            interval = env_float(
                 DISK_CHECK_INTERVAL_ENV, DEFAULT_DISK_CHECK_INTERVAL
             )
         self.min_free_bytes = min_free_bytes
@@ -364,14 +416,11 @@ def apply_memory_limit(env: Optional[str] = None) -> Optional[int]:
     instead of triggering the OOM killer and a pool death.
     """
     raw = env if env is not None else os.environ.get(MAX_RSS_ENV)
-    if not raw:
-        return None
-    limit = parse_size(raw)
+    limit = parse_tolerant(
+        MAX_RSS_ENV, raw, None, parse_size,
+        expected="a size (try 512M, 2G)",
+    )
     if limit is None:
-        warnings.warn(
-            f"{MAX_RSS_ENV}={raw!r} is not a size (try 512M, 2G); "
-            "no memory limit applied"
-        )
         return None
     try:
         import resource
@@ -477,21 +526,4 @@ class CircuitBreaker:
 
 def breaker_threshold(default: int = DEFAULT_BREAKER_THRESHOLD) -> int:
     """Threshold from ``REPRO_BREAKER_THRESHOLD`` (0 disables), tolerant."""
-    raw = os.environ.get(BREAKER_THRESHOLD_ENV)
-    if raw is None or raw == "":
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        warnings.warn(
-            f"{BREAKER_THRESHOLD_ENV}={raw!r} is not an integer; "
-            f"using {default}"
-        )
-        return default
-    if value < 0:
-        warnings.warn(
-            f"{BREAKER_THRESHOLD_ENV} must be >= 0, got {value}; "
-            f"using {default}"
-        )
-        return default
-    return value
+    return env_int(BREAKER_THRESHOLD_ENV, default)

@@ -1,0 +1,115 @@
+"""Bounded admission queue: backpressure is explicit, memory is not.
+
+A deliberately small wrapper over ``collections.deque`` plus per-getter
+wakeup futures instead of ``asyncio.Queue`` or ``asyncio.Condition``:
+admission must be able to *refuse* synchronously (a full queue is a 429
+the client hears about now, not an await that parks unbounded request
+state in memory), the dispatch side needs a timeout-poll so worker
+slots can notice scale-down and drain requests between jobs, and
+``Condition.wait`` under ``asyncio.wait_for`` has a cancellation
+re-acquire hazard (a timed-out waiter can wedge the lock for every
+later ``put``) that plain one-shot futures simply do not have.
+
+Shed jobs are skipped at ``get`` time rather than removed at shed time:
+an O(n) deque excision per expired waiter would make deadline storms
+quadratic, while a skip at pop is O(1) amortized — the slot just pops
+again.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, Optional
+
+from repro.exceptions import ReproError
+from repro.service.jobs import QUEUED, Job
+
+__all__ = ["AdmissionQueue", "QueueFull"]
+
+
+class QueueFull(ReproError):
+    """The bounded queue refused a job; carries the backoff hint."""
+
+    def __init__(self, depth: int, retry_after_s: float) -> None:
+        super().__init__(f"admission queue is full ({depth} jobs queued)")
+        self.depth = depth
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionQueue:
+    """FIFO of admitted jobs with a hard depth bound."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: Deque[Job] = deque()
+        #: One-shot futures, one per parked getter, resolved FIFO.
+        self._waiters: Deque[asyncio.Future] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    def put_nowait(self, job: Job, retry_after_s: float = 1.0) -> None:
+        """Enqueue or refuse; never blocks, never buffers past the bound."""
+        if len(self._items) >= self.maxsize:
+            raise QueueFull(len(self._items), retry_after_s)
+        self._items.append(job)
+        self._wake_one()
+
+    async def put(self, job: Job, retry_after_s: float = 1.0) -> None:
+        """Async spelling of :meth:`put_nowait` (same refuse contract)."""
+        self.put_nowait(job, retry_after_s)
+
+    def _wake_one(self) -> None:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+
+    async def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the next *live* queued job, or ``None`` on timeout.
+
+        Jobs that went terminal while queued (shed by their waiters,
+        drained) are silently discarded here — their state transition
+        already woke their waiters; the slot only wants runnable work.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = None if timeout is None else loop.time() + timeout
+        while True:
+            while self._items:
+                job = self._items.popleft()
+                if job.state == QUEUED and not job.terminal:
+                    return job
+            remaining = None if deadline is None else deadline - loop.time()
+            if remaining is not None and remaining <= 0:
+                return None
+            waiter: asyncio.Future = loop.create_future()
+            self._waiters.append(waiter)
+            try:
+                await asyncio.wait_for(waiter, timeout=remaining)
+            except asyncio.TimeoutError:
+                return None
+            finally:
+                if not waiter.done():
+                    waiter.cancel()
+                try:
+                    self._waiters.remove(waiter)
+                except ValueError:
+                    pass
+                # A wakeup consumed by a getter that is about to leave
+                # (timeout raced a put) must not be lost: hand it on.
+                if waiter.done() and not waiter.cancelled() and self._items:
+                    self._wake_one()
+
+    def drain(self) -> list:
+        """Remove and return every queued job (graceful shutdown)."""
+        drained = [job for job in self._items if not job.terminal]
+        self._items.clear()
+        return drained

@@ -159,6 +159,125 @@ class TestLazyBreaker:
         assert "1 skipped (circuit breaker)" in runner.execution_health()
 
 
+class TestBreakerConcurrency:
+    """Racing recorders must not double-trip a config or lose the
+    closing ``ok`` record, and concurrent manifest appends must never
+    tear a line."""
+
+    def _outcome(self, status, key="cfg-key", attempts=1):
+        from repro.analysis.faults import RunOutcome
+
+        return RunOutcome(
+            key=key, kind="sim", shard="va", status=status,
+            attempts=attempts,
+        )
+
+    def test_racing_failures_trip_exactly_once(self, tmp_path):
+        import threading
+
+        from repro.service.admission import ServiceBreaker
+
+        breaker = ServiceBreaker(str(tmp_path / "failures"), threshold=3)
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(25):
+                breaker.record_failure(self._outcome("failed"))
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 200 racing failures: every one counted, the trip counted once.
+        assert breaker.streak("cfg-key") == 200
+        assert breaker.trips == 1
+        assert breaker.open_for("cfg-key")
+        records = manifest_records(tmp_path)
+        assert len(records) == 200
+        assert all(r["status"] == "failed" for r in records)
+
+    def test_closing_ok_survives_racing_failures_on_other_keys(
+        self, tmp_path
+    ):
+        import threading
+
+        from repro.service.admission import ServiceBreaker
+
+        breaker = ServiceBreaker(str(tmp_path / "failures"), threshold=2)
+        for _ in range(2):
+            breaker.record_failure(self._outcome("failed", key="sick"))
+        assert breaker.open_for("sick")
+
+        barrier = threading.Barrier(5)
+
+        def fail_other(index):
+            barrier.wait()
+            for _ in range(20):
+                breaker.record_failure(
+                    self._outcome("failed", key=f"other-{index}")
+                )
+
+        def recover():
+            barrier.wait()
+            breaker.record_success(self._outcome("ok", key="sick"))
+
+        threads = [
+            threading.Thread(target=fail_other, args=(index,))
+            for index in range(4)
+        ] + [threading.Thread(target=recover)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        # The recovery closed the streak despite the surrounding storm...
+        assert not breaker.open_for("sick")
+        assert breaker.streak("sick") == 0
+        records = manifest_records(tmp_path)
+        ok_records = [r for r in records if r["status"] == "ok"]
+        assert [r["key"] for r in ok_records] == ["sick"]
+        # ...and no concurrent append tore a line (manifest_records
+        # would have raised on malformed JSON).
+        assert len(records) == 2 + 80 + 1
+        # A fresh load-time breaker reads the same verdicts back.
+        reloaded = CircuitBreaker(str(tmp_path / "failures"), threshold=2)
+        assert not reloaded.tripped("sick")
+        assert reloaded.tripped("other-0")
+
+    def test_racing_batches_share_one_manifest_cleanly(
+        self, tmp_path, monkeypatch
+    ):
+        import threading
+
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "fail:sim|va")
+        request = RunRequest("sim", VA, size=8)
+        failures = []
+
+        def run_batch():
+            store = ResultStore(str(tmp_path / "simcache"))
+            try:
+                ParallelRunner(
+                    store, jobs=1, policy=policy(breaker_threshold=0)
+                ).run_batch_report([request])
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                failures.append(error)
+
+        threads = [threading.Thread(target=run_batch) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        records = manifest_records(tmp_path)
+        assert len(records) == 3
+        assert all(r["status"] == "failed" for r in records)
+        assert all(r["key"] == request.key for r in records)
+        breaker = CircuitBreaker(str(tmp_path / "failures"), threshold=2)
+        assert breaker.consecutive_failures(request.key) == 3
+
+
 class TestCliFlag:
     def test_retry_quarantined_maps_to_policy(self):
         from repro.analysis.cli import build_parser, build_policy

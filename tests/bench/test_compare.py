@@ -122,6 +122,66 @@ class TestThresholdKnobs:
         assert compare_artifacts(make_artifact(), worse, strict) != []
 
 
+class TestServiceFamily:
+    """The service block gates only when the baseline carries it."""
+
+    @staticmethod
+    def with_service(**overrides):
+        from tests.bench.test_schema import make_service_block
+
+        return make_artifact(service=make_service_block(**overrides))
+
+    def test_absent_in_baseline_never_gates(self):
+        # An old baseline without the block compares clean against a
+        # current that has one (and vice versa is covered below).
+        assert compare_artifacts(make_artifact(), self.with_service()) == []
+
+    def test_identical_service_blocks_pass(self):
+        assert compare_artifacts(self.with_service(), self.with_service()) == []
+
+    def test_lost_service_block_is_a_regression(self):
+        regressions = compare_artifacts(self.with_service(), make_artifact())
+        assert [r.family for r in regressions] == ["service"]
+        assert "missing" in regressions[0].metric
+
+    def test_latency_blowup_fails(self):
+        regressions = compare_artifacts(
+            self.with_service(), self.with_service(p95_ms=2500.0 * 2.6)
+        )
+        assert [r.metric for r in regressions] == ["p95_ms"]
+
+    def test_latency_within_tolerance_passes(self):
+        current = self.with_service(p95_ms=2500.0 * 2.4)
+        assert compare_artifacts(self.with_service(), current) == []
+
+    def test_throughput_collapse_fails(self):
+        regressions = compare_artifacts(
+            self.with_service(), self.with_service(throughput_rps=1.0)
+        )
+        assert [r.metric for r in regressions] == ["throughput_rps"]
+
+    def test_shed_rate_spike_fails_but_small_rise_passes(self):
+        assert (
+            compare_artifacts(
+                self.with_service(), self.with_service(shed_rate=0.15)
+            )
+            == []
+        )
+        regressions = compare_artifacts(
+            self.with_service(), self.with_service(shed_rate=0.5)
+        )
+        assert [r.metric for r in regressions] == ["shed_rate"]
+
+    def test_thresholds_are_knobs(self):
+        tight = Thresholds(service_latency_frac=0.1)
+        regressions = compare_artifacts(
+            self.with_service(),
+            self.with_service(p50_ms=800.0 * 1.2),
+            tight,
+        )
+        assert [r.metric for r in regressions] == ["p50_ms"]
+
+
 class TestCompareErrors:
     def test_rejects_invalid_baseline(self):
         with pytest.raises(ValueError):

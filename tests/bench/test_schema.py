@@ -67,6 +67,46 @@ class TestValidArtifacts:
         assert validate_artifact(make_artifact(tier="full")) == []
 
 
+def make_service_block(**overrides):
+    block = {
+        "p50_ms": 800.0,
+        "p95_ms": 2500.0,
+        "p99_ms": 4000.0,
+        "throughput_rps": 2.5,
+        "shed_rate": 0.05,
+        "requests": 48,
+    }
+    block.update(overrides)
+    return block
+
+
+class TestServiceBlock:
+    def test_service_block_is_optional(self):
+        assert validate_artifact(make_artifact()) == []
+
+    def test_valid_service_block_accepted(self):
+        document = make_artifact(service=make_service_block())
+        assert validate_artifact(document) == []
+
+    def test_missing_service_metric_rejected(self):
+        block = make_service_block()
+        del block["p99_ms"]
+        problems = validate_artifact(make_artifact(service=block))
+        assert any("service" in p and "p99_ms" in p for p in problems)
+
+    def test_shed_rate_must_be_a_fraction(self):
+        document = make_artifact(
+            service=make_service_block(shed_rate=12.0)
+        )
+        problems = validate_artifact(document)
+        assert any("shed_rate" in p and "fraction" in p for p in problems)
+
+    def test_negative_latency_rejected(self):
+        document = make_artifact(service=make_service_block(p50_ms=-1.0))
+        problems = validate_artifact(document)
+        assert any("service.p50_ms" in p for p in problems)
+
+
 class TestInvalidArtifacts:
     def test_non_object_rejected(self):
         assert validate_artifact([1, 2]) != []

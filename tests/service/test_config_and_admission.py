@@ -1,0 +1,134 @@
+"""Service config resolution (tolerant env, strict combinations) and
+the admission-side helpers: the 429 backoff hint and the live breaker's
+seed-from-manifest / reopen / close behaviour."""
+
+import json
+
+import pytest
+
+from repro.analysis.faults import RunOutcome
+from repro.service.admission import ServiceBreaker, retry_after_hint
+from repro.service.config import (
+    DEFAULT_DEADLINE_ENV,
+    DEFAULT_QUEUE_DEPTH,
+    QUEUE_DEPTH_ENV,
+    WORKERS_MAX_ENV,
+    WORKERS_MIN_ENV,
+    ServiceConfig,
+)
+
+
+class TestServiceConfig:
+    def test_env_knobs_resolve(self, monkeypatch):
+        monkeypatch.setenv(QUEUE_DEPTH_ENV, "16")
+        monkeypatch.setenv(WORKERS_MIN_ENV, "2")
+        monkeypatch.setenv(WORKERS_MAX_ENV, "6")
+        monkeypatch.setenv(DEFAULT_DEADLINE_ENV, "12.5")
+        config = ServiceConfig.from_env()
+        assert config.queue_depth == 16
+        assert (config.workers_min, config.workers_max) == (2, 6)
+        assert config.default_deadline_s == 12.5
+
+    def test_garbage_env_degrades_with_warning(self, monkeypatch):
+        monkeypatch.setenv(QUEUE_DEPTH_ENV, "many")
+        with pytest.warns(UserWarning, match=QUEUE_DEPTH_ENV):
+            config = ServiceConfig.from_env()
+        assert config.queue_depth == DEFAULT_QUEUE_DEPTH
+
+    def test_env_max_below_min_is_clamped_not_fatal(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_MIN_ENV, "4")
+        monkeypatch.setenv(WORKERS_MAX_ENV, "2")
+        config = ServiceConfig.from_env()
+        assert config.workers_max >= config.workers_min == 4
+
+    def test_overrides_win_and_bad_combinations_raise(self, monkeypatch):
+        monkeypatch.delenv(QUEUE_DEPTH_ENV, raising=False)
+        config = ServiceConfig.from_env(queue_depth=5, workers_min=2)
+        assert config.queue_depth == 5 and config.workers_min == 2
+        # Explicit contradictions are not knobs to degrade.
+        with pytest.raises(ValueError, match="workers_max"):
+            ServiceConfig(workers_min=4, workers_max=2)
+        with pytest.raises(ValueError, match="queue_depth"):
+            ServiceConfig(queue_depth=0)
+        with pytest.raises(ValueError, match="default_deadline_s"):
+            ServiceConfig(default_deadline_s=0)
+
+
+class TestRetryAfterHint:
+    def test_scales_with_backlog_over_drain_rate(self):
+        assert retry_after_hint(10, workers=2, mean_run_s=2.0) == 10.0
+
+    def test_clamped_to_floor_and_ceiling(self):
+        assert retry_after_hint(0, 4, 1.0) == 1.0
+        assert retry_after_hint(1000, 1, 30.0) == 60.0
+
+    def test_degenerate_inputs_stay_sane(self):
+        assert retry_after_hint(5, workers=0, mean_run_s=0.0) >= 1.0
+
+
+def outcome(key, status, shard="va"):
+    return RunOutcome(key=key, kind="sim", shard=shard, status=status, attempts=1)
+
+
+class TestServiceBreaker:
+    def test_seeds_streaks_from_the_batch_manifest(self, tmp_path):
+        root = tmp_path / "failures"
+        root.mkdir()
+        records = [
+            {"key": "sick", "status": "failed"},
+            {"key": "sick", "status": "timeout"},
+            {"key": "healed", "status": "failed"},
+            {"key": "healed", "status": "ok"},
+        ]
+        (root / "va.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        breaker = ServiceBreaker(str(root), threshold=2)
+        assert breaker.open_for("sick")
+        assert not breaker.open_for("healed")
+
+    def test_trips_then_success_closes_with_an_ok_record(self, tmp_path):
+        root = tmp_path / "failures"
+        breaker = ServiceBreaker(str(root), threshold=2)
+        breaker.record(outcome("cfg", "failed"))
+        assert not breaker.open_for("cfg")
+        breaker.record(outcome("cfg", "timeout"))
+        assert breaker.open_for("cfg") and breaker.trips == 1
+        breaker.record(outcome("cfg", "ok"))
+        assert not breaker.open_for("cfg")
+        statuses = [
+            json.loads(line)["status"]
+            for line in (root / "va.jsonl").read_text().splitlines()
+        ]
+        assert statuses == ["failed", "timeout", "ok"]
+
+    def test_success_without_a_streak_stays_out_of_the_manifest(
+        self, tmp_path
+    ):
+        root = tmp_path / "failures"
+        breaker = ServiceBreaker(str(root), threshold=2)
+        breaker.record(outcome("clean", "ok"))
+        assert not (root / "va.jsonl").exists()
+
+    def test_interrupted_is_manifested_without_counting(self, tmp_path):
+        root = tmp_path / "failures"
+        breaker = ServiceBreaker(str(root), threshold=1)
+        breaker.record(outcome("cfg", "interrupted"))
+        assert not breaker.open_for("cfg")
+        (line,) = (root / "va.jsonl").read_text().splitlines()
+        assert json.loads(line)["status"] == "interrupted"
+
+    def test_threshold_zero_disables(self, tmp_path):
+        breaker = ServiceBreaker(str(tmp_path / "failures"), threshold=0)
+        for _ in range(5):
+            breaker.record(outcome("cfg", "failed"))
+        assert not breaker.open_for("cfg")
+        assert breaker.snapshot()["enabled"] is False
+
+    def test_snapshot_counts_open_configs(self, tmp_path):
+        breaker = ServiceBreaker(str(tmp_path / "failures"), threshold=1)
+        breaker.record(outcome("one", "failed"))
+        breaker.record(outcome("two", "oom"))
+        snap = breaker.snapshot()
+        assert snap["open_configs"] == 2 and snap["trips"] == 2
+        assert snap["threshold"] == 1

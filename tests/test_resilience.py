@@ -54,6 +54,60 @@ class TestParseSize:
         assert parse_size(text) is None
 
 
+class TestTolerantEnv:
+    """The one shared degrade-don't-die policy for every REPRO_* knob."""
+
+    def test_unset_and_empty_are_silent_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_KNOB", raising=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resilience.env_int("REPRO_TEST_KNOB", 7) == 7
+            monkeypatch.setenv("REPRO_TEST_KNOB", "")
+            assert resilience.env_float("REPRO_TEST_KNOB", 2.5) == 2.5
+
+    @pytest.mark.parametrize("raw", ["banana", "-3", "1.5.2", " "])
+    def test_garbage_warns_naming_the_knob_and_degrades(
+        self, monkeypatch, raw
+    ):
+        monkeypatch.setenv("REPRO_TEST_KNOB", raw)
+        with pytest.warns(UserWarning, match="REPRO_TEST_KNOB"):
+            assert resilience.env_int("REPRO_TEST_KNOB", 4) == 4
+
+    def test_valid_values_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "12")
+        assert resilience.env_int("REPRO_TEST_KNOB", 1) == 12
+        monkeypatch.setenv("REPRO_TEST_KNOB", "0.25")
+        assert resilience.env_float("REPRO_TEST_KNOB", 1.0) == 0.25
+
+    def test_parse_tolerant_custom_parser_and_expected_text(self):
+        with pytest.warns(UserWarning, match="is not a colour"):
+            value = resilience.parse_tolerant(
+                "REPRO_HUE", "infrared", "blue",
+                lambda raw: raw if raw in ("red", "blue") else None,
+                expected="a colour",
+            )
+        assert value == "blue"
+        assert (
+            resilience.parse_tolerant(
+                "REPRO_HUE", "red", "blue", lambda raw: raw
+            )
+            == "red"
+        )
+
+    def test_min_free_mb_garbage_keeps_disk_guard_working(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv(resilience.MIN_FREE_ENV, "lots")
+        with pytest.warns(UserWarning, match=resilience.MIN_FREE_ENV):
+            guard = DiskGuard()
+        assert guard.min_free_bytes == DEFAULT_MIN_FREE_MB * 1024 * 1024
+
+    def test_max_rss_garbage_warns_and_applies_nothing(self, monkeypatch):
+        monkeypatch.setenv(resilience.MAX_RSS_ENV, "banana")
+        with pytest.warns(UserWarning, match=resilience.MAX_RSS_ENV):
+            assert apply_memory_limit() is None
+
+
 class TestBreakerThreshold:
     def test_default_when_unset(self, monkeypatch):
         monkeypatch.delenv("REPRO_BREAKER_THRESHOLD", raising=False)

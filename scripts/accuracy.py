@@ -38,6 +38,7 @@ from repro.resilience import (
     install_shutdown_handlers,
     preflight_disk,
 )
+from repro.verify.runtime import arm_from_flag
 from repro.workloads import STRONG_SCALING
 
 
@@ -76,11 +77,17 @@ def main(argv=None) -> int:
     parser.add_argument("--log-format", choices=("human", "json"),
                         default=None,
                         help="stderr diagnostics format (default human)")
+    parser.add_argument("--verify", action="store_true",
+                        help="paranoia mode: assert engine/model "
+                             "invariants at every kernel boundary and "
+                             "event-queue operation (equivalent to "
+                             "REPRO_VERIFY=1; workers inherit it)")
     args = parser.parse_args(argv)
     obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
     coordinator = install_shutdown_handlers()
     coordinator.reset()
     apply_memory_limit()
+    arm_from_flag(args.verify)
 
     jobs = args.jobs if args.jobs is not None else default_jobs()
     defaults = ExecutionPolicy()

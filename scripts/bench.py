@@ -34,6 +34,7 @@ from repro.bench.harness import run_bench
 from repro.fsio import atomic_write_text
 from repro.obs import bootstrap, install
 from repro.resilience import apply_memory_limit, install_shutdown_handlers
+from repro.verify.runtime import arm_from_flag
 
 EXIT_OK = 0
 EXIT_REGRESSION = 1
@@ -119,6 +120,11 @@ def main(argv=None) -> int:
                         help="write the metrics snapshot as JSON")
     parser.add_argument("--log-format", choices=("human", "json"),
                         default=None)
+    parser.add_argument("--verify", action="store_true",
+                        help="paranoia mode: assert engine/model invariants "
+                             "during the campaign (REPRO_VERIFY=1; note the "
+                             "checked loop adds overhead, so do not compare "
+                             "a --verify artifact against a plain baseline)")
     args = parser.parse_args(argv)
 
     if args.validate_only:
@@ -132,6 +138,7 @@ def main(argv=None) -> int:
     obs = bootstrap(args.trace_out, args.metrics_out, args.log_format)
     install_shutdown_handlers().reset()
     apply_memory_limit()
+    arm_from_flag(args.verify)
     # The harness always measures: the engine-loop hook feeds the
     # instrumented/wall cross-check even without --trace-out.
     install()

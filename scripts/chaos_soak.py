@@ -20,6 +20,10 @@ resilience invariants this repository promises:
    over the same store completes every run and the final payloads are
    bit-identical (``wall_time_s``, a host-time measurement, excluded)
    to a never-faulted reference campaign.
+5. **Golden-ledger integrity** — the clean reference campaign is pinned
+   into an ad-hoc golden ledger (``repro.verify.golden``) and the
+   post-chaos store must pass the same digest audit CI's golden gate
+   runs: fault schedules may cost retries, never silent corruption.
 
 Seeded: ``--seed`` fixes the whole schedule, so a CI failure reproduces
 locally with the same flags.  ``--quick`` (CI) runs 2 trials; the
@@ -46,6 +50,7 @@ from repro.analysis.faults import (
 from repro.analysis.parallel import ParallelRunner, RunRequest
 from repro.analysis.simcache import ResultStore
 from repro.resilience import reset_disk_guard
+from repro.verify.golden import audit_store, pin_store
 from repro.workloads import STRONG_SCALING
 
 # Two cheap multi-kernel workloads at a reduced work scale keep one
@@ -135,7 +140,9 @@ def manifest_keys(root: str) -> set:
     return keys
 
 
-def run_trial(trial: int, rng: random.Random, reference: dict) -> list:
+def run_trial(
+    trial: int, rng: random.Random, reference: dict, ledger: dict
+) -> list:
     """One chaos trial; returns a list of invariant violations."""
     problems = []
     root = tempfile.mkdtemp(prefix=f"chaos-soak-{trial}-")
@@ -180,6 +187,16 @@ def run_trial(trial: int, rng: random.Random, reference: dict) -> list:
                     f"trial {trial}: resumed payload for {request.key} "
                     "diverges from the clean reference"
                 )
+        # 5: golden-ledger integrity — every converged payload must
+        # digest identically to the clean reference's pin.  This is the
+        # same audit the CI golden gate runs, aimed at a store that
+        # lived through injected ENOSPC/torn writes/crashes.
+        audit = audit_store(ledger, final)
+        if not audit.ok:
+            problems.append(
+                f"trial {trial}: golden audit after faults failed "
+                f"({audit.summary()})"
+            )
     finally:
         shutil.rmtree(root, ignore_errors=True)
     for problem in problems:
@@ -215,13 +232,18 @@ def main(argv=None) -> int:
             request.key: stripped(ref_store._entries[request.key])
             for request in matrix()
         }
+        ledger = pin_store(
+            ref_store,
+            [request.key for request in matrix()],
+            reason="chaos-soak clean reference campaign",
+        )
     finally:
         shutil.rmtree(ref_root, ignore_errors=True)
 
     rng = random.Random(args.seed)
     problems = []
     for trial in range(trials):
-        problems.extend(run_trial(trial, rng, reference))
+        problems.extend(run_trial(trial, rng, reference, ledger))
     if problems:
         print(f"chaos soak: {len(problems)} invariant violation(s) over "
               f"{trials} trials (seed {args.seed})", file=sys.stderr)

@@ -18,6 +18,10 @@ Phases:
                  is put down, the next request gets a fresh one
   io-pressure    ``enospc:store`` + ``slow-io:store``: responses keep
                  flowing while persistence degrades
+  golden-integrity  whatever a store-faulted server *did* persist must
+                 digest identically to a clean server's golden pin
+                 (``repro.verify.golden``): faults may lose writes,
+                 never corrupt them
   breaker        repeated deaths trip the per-config breaker: fast 503
                  with the streak in the body, healthy configs unaffected
   overload       queue depth 2, one worker: concurrent burst gets
@@ -284,6 +288,55 @@ def phase_io_pressure(rng, quick, violations):
     print("  phase io-pressure: ok")
 
 
+def phase_golden_integrity(rng, quick, violations):
+    """Store faults may cost persistence, never silent corruption."""
+    from repro.analysis.simcache import ResultStore
+    from repro.verify.golden import audit_store, pin_store
+
+    benches = [rng.choice(FAST_BENCHES) for _ in range(2 if quick else 3)]
+
+    def drive(phase, label):
+        for index, bench in enumerate(benches):
+            status, data, _ = phase.request(body_for(bench, seed=300 + index))
+            check(
+                status == 200 and data["status"] == "completed",
+                f"golden-integrity: {label} request {index} should "
+                f"complete, got {status} {data}",
+                violations,
+            )
+
+    with Phase("golden-ref") as ref_phase:
+        drive(ref_phase, "clean")
+    reference = ResultStore(ref_phase.store)
+    if not reference._entries:
+        check(False,
+              "golden-integrity: clean server persisted nothing to pin",
+              violations)
+        shutil.rmtree(ref_phase.tmp, ignore_errors=True)
+        return
+    ledger = pin_store(
+        reference, sorted(reference._entries),
+        reason="service-chaos clean reference server",
+    )
+    env = {"REPRO_FAULT_INJECT": "enospc:store:1,partial-write:store:1"}
+    with Phase("golden-faulted", env) as faulted_phase:
+        drive(faulted_phase, "faulted")
+    # require_all=False: an injected ENOSPC may legitimately have cost
+    # a flush.  What *was* persisted must digest identically.
+    audit = audit_store(
+        ledger, ResultStore(faulted_phase.store), require_all=False
+    )
+    check(
+        not audit.drifted,
+        f"golden-integrity: post-fault payload(s) drifted from the "
+        f"clean pin ({audit.summary()}): {audit.drifted}",
+        violations,
+    )
+    shutil.rmtree(ref_phase.tmp, ignore_errors=True)
+    shutil.rmtree(faulted_phase.tmp, ignore_errors=True)
+    print("  phase golden-integrity: ok")
+
+
 def phase_breaker(rng, quick, violations):
     bench = rng.choice(FAST_BENCHES)
     env = {
@@ -450,6 +503,7 @@ PHASES = (
     phase_flaky_retry,
     phase_hang_shed,
     phase_io_pressure,
+    phase_golden_integrity,
     phase_breaker,
     phase_overload,
     phase_drain,

@@ -77,6 +77,7 @@ from repro.resilience import (
     install_shutdown_handlers,
     preflight_disk,
 )
+from repro.verify.runtime import arm_from_flag
 
 EXPERIMENTS = (
     "table1", "table5", "fig1", "fig2", "fig4", "fig5", "fig6", "fig7",
@@ -133,6 +134,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--log-format", choices=("human", "json"),
                         default=None,
                         help="stderr diagnostics format (default human)")
+    parser.add_argument("--verify", action="store_true",
+                        help="paranoia mode: assert engine/model invariants "
+                             "at every kernel boundary and event-queue "
+                             "operation (equivalent to REPRO_VERIFY=1; "
+                             "workers inherit it)")
     return parser
 
 
@@ -218,6 +224,7 @@ def main(argv=None) -> int:
     coordinator = install_shutdown_handlers()
     coordinator.reset()
     apply_memory_limit()
+    arm_from_flag(args.verify)
     jobs = args.jobs if args.jobs is not None else default_jobs()
     runner = CachedRunner(
         None if args.no_cache else args.cache,

@@ -34,6 +34,12 @@ Fault-injection grammar (comma-separated directives)::
                                a disk that filled mid-write (default 1)
     slow-io:<op>[:<s>]         sleep s seconds before the write
                                (default 0.05; fires on every write)
+    drop-miss:<prefix>[:<n>]   silently swallow the first n L1-miss
+                               increments (default 1) of a matching
+                               simulation — a seeded *model* corruption
+                               that produces a plausible but wrong
+                               result, invisible to crash handling and
+                               caught only by repro.verify's invariants
 
 ``die-at-kernel`` is armed through :func:`kernel_kill_hook` (wired into
 the checkpointer's post-save callback) rather than :func:`maybe_inject`:
@@ -53,6 +59,13 @@ target *write seams*, not runs: ``<op>`` prefix-matches one of
 They are consumed through :func:`next_io_fault`; the fired-count
 bookkeeping is per process (pool workers count their own), and
 :func:`reset_io_faults` rewinds it between chaos phases.
+
+``drop-miss`` is an *engine* directive: it corrupts simulator counters
+rather than execution or I/O.  :class:`repro.gpu.gpu.GPUSimulator` arms
+it at run start via :func:`engine_fault_budget`, matching the directive
+prefix against the workload trace name (e.g. ``drop-miss:va``).  Each
+run attempt gets the full budget — the corruption is deterministic per
+run, so a retried run misbehaves identically.
 """
 
 from __future__ import annotations
@@ -84,6 +97,7 @@ __all__ = [
     "SKIPPED",
     "parse_fault_plan",
     "maybe_inject",
+    "engine_fault_budget",
     "kernel_kill_hook",
     "next_io_fault",
     "reset_io_faults",
@@ -115,6 +129,7 @@ IO_OPS = ("store", "checkpoint", "trace", "metrics", "manifest")
 
 _IO_ACTIONS = ("enospc", "partial-write", "slow-io")
 _RUN_ACTIONS = ("fail", "hang", "die", "die-at-kernel")
+_ENGINE_ACTIONS = ("drop-miss",)
 
 _SHARD_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -372,7 +387,7 @@ def parse_fault_plan(plan: str) -> Tuple[_FaultDirective, ...]:
                 f"fault injection: malformed directive {part!r} "
                 "(expected action:prefix[:arg])"
             )
-        if action not in _RUN_ACTIONS + _IO_ACTIONS:
+        if action not in _RUN_ACTIONS + _IO_ACTIONS + _ENGINE_ACTIONS:
             raise ReproError(
                 f"fault injection: unknown action {action!r} in {part!r}"
             )
@@ -410,6 +425,9 @@ def maybe_inject(
         if directive.action in _IO_ACTIONS:
             # Filesystem seams, consumed through next_io_fault.
             continue
+        if directive.action in _ENGINE_ACTIONS:
+            # Engine-corruption seams, consumed through engine_fault_budget.
+            continue
         if not any(t.startswith(directive.prefix) for t in targets):
             continue
         if directive.action == "die-at-kernel":
@@ -436,6 +454,30 @@ def maybe_inject(
             raise InjectedFaultError(
                 f"injected worker death for {key} (serial mode: raising)"
             )
+
+
+def engine_fault_budget(action: str, *targets: str) -> int:
+    """Total corruption budget for an engine directive matching ``targets``.
+
+    Engine directives (:data:`_ENGINE_ACTIONS`) corrupt simulator
+    *counters* rather than execution: the simulator arms them at run
+    start by asking for the budget and spending it internally (e.g.
+    ``drop-miss`` swallows that many L1-miss increments).  A directive
+    matches when its prefix is a prefix of any of ``targets`` (the
+    workload trace name, at minimum).  Budgets of several matching
+    directives add up; the default per directive is 1.
+    """
+    plan = os.environ.get(FAULT_INJECT_ENV)
+    if not plan:
+        return 0
+    total = 0
+    for directive in parse_fault_plan(plan):
+        if directive.action != action or directive.action not in _ENGINE_ACTIONS:
+            continue
+        if not any(t.startswith(directive.prefix) for t in targets):
+            continue
+        total += int(directive.arg) if directive.arg is not None else 1
+    return total
 
 
 def kernel_kill_hook(

@@ -76,6 +76,7 @@ from repro.exceptions import ExecutionError, ReproError, ShutdownRequested
 from repro.obs.profile_hooks import ensure_worker
 from repro.obs.tracing import get_tracer
 from repro.resilience import CircuitBreaker, apply_memory_limit, get_coordinator
+from repro.verify.runtime import ensure_paranoia
 from repro.workloads.spec import BenchmarkSpec
 
 __all__ = [
@@ -185,6 +186,12 @@ def execute_attempt(
     the parent's exporter sees them even if the worker dies later.
     """
     ensure_worker()
+    # Same self-arm for paranoia mode: pool workers inherit REPRO_VERIFY
+    # through the environment, so a --verify campaign checks every run
+    # regardless of which process executes it.  Curve checks in
+    # particular hook ``runner.compute_mrc``, which never passes through
+    # a simulator's own self-arm.
+    ensure_paranoia()
     tracer = get_tracer()
     try:
         with tracer.span(

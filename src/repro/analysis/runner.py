@@ -52,6 +52,7 @@ from repro.analysis.simcache import ResultStore
 from repro.checkpoint import CheckpointPolicy, default_checkpoint_interval
 from repro.exceptions import ExecutionError, ReproError
 from repro.resilience import CircuitBreaker, get_coordinator, tolerant_env
+from repro.verify.runtime import ensure_paranoia
 from repro.gpu import GPUConfig, McmConfig, simulate, simulate_mcm
 from repro.gpu.results import SimulationResult
 from repro.mrc import MissRateCurve, collect_miss_rate_curve
@@ -434,6 +435,10 @@ class CachedRunner:
         # shutdown stops before the next compute starts (everything
         # completed so far is already flushed, flush_every=1).
         get_coordinator().check()
+        # Self-arm paranoia mode for the lazy in-process paths — MRC
+        # collections in particular never pass through a simulator's own
+        # self-arm, and the curve check hooks this module's compute_mrc.
+        ensure_paranoia()
         policy = self.policy or ExecutionPolicy()
         breaker = self._lazy_breaker()
         if (

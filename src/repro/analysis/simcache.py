@@ -13,6 +13,12 @@ Durability rules:
 * **Appends are batched.** ``put()`` stages a record; once
   ``flush_every`` records are pending (default 1: flush per record) they
   are grouped by shard and appended, one ``write()`` per shard.
+* **Records are content-addressed.** Every record carries a sha256
+  digest of its payload's canonical JSON form; the loader verifies it
+  and treats a mismatch like any other corrupt line (``digest_mismatches``
+  stat, quarantine, recompute as a miss) — a payload silently altered on
+  disk can never poison downstream experiments.  Records written before
+  digests existed load unverified.
 * **Loads are tolerant.** A shard line that fails to parse is counted
   and skipped.  A shard containing any bad line is *quarantined*: the
   original file moves to ``<root>/quarantine/`` and the salvaged records
@@ -46,6 +52,7 @@ from repro import fsio
 from repro.obs.metrics import CounterBag, get_registry
 from repro.obs.tracing import get_tracer
 from repro.resilience import get_disk_guard
+from repro.verify.digest import content_digest
 
 __all__ = ["ResultStore", "DEFAULT_STORE_ROOT", "LEGACY_CACHE_FILE"]
 
@@ -60,6 +67,23 @@ _SHARD_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
 def _shard_filename(shard: str) -> str:
     name = _SHARD_SANITIZER.sub("_", shard) or "misc"
     return f"{name}.jsonl"
+
+
+def _record_line(key: str, payload: dict) -> str:
+    """One shard record: key, payload and a sha256 content digest.
+
+    The digest covers the payload's canonical JSON form; the loader
+    verifies it, so a payload silently altered on disk (bit rot, a
+    partial overwrite that still parses, a hand edit) degrades to a
+    recomputed miss instead of poisoning every later experiment that
+    trusts the cache.
+    """
+    return (
+        json.dumps(
+            {"key": key, "payload": payload, "digest": content_digest(payload)}
+        )
+        + "\n"
+    )
 
 
 class ResultStore:
@@ -95,6 +119,7 @@ class ResultStore:
             "appended_records": 0,
             "shards_loaded": 0,
             "corrupt_lines": 0,
+            "digest_mismatches": 0,
             "schema_mismatches": 0,
             "quarantined_shards": 0,
             "legacy_imported": 0,
@@ -206,8 +231,7 @@ class ResultStore:
         for shard, records in sorted(by_shard.items()):
             path = os.path.join(self.root, _shard_filename(shard))
             text = "".join(
-                json.dumps({"key": key, "payload": payload}) + "\n"
-                for _, key, payload in records
+                _record_line(key, payload) for _, key, payload in records
             )
             if shard in self._dirty_shards:
                 # The previous append may have torn its last line; a
@@ -287,6 +311,7 @@ class ResultStore:
             return
         good: List[Tuple[str, dict]] = []
         bad = 0
+        digest_bad = 0
         for line in raw_lines:
             if not line.strip():
                 continue
@@ -299,12 +324,21 @@ class ResultStore:
             if not isinstance(key, str) or not isinstance(payload, dict):
                 bad += 1
                 continue
+            # Records written before content digests existed carry none;
+            # they load unverified (re-written on quarantine with one).
+            digest = record.get("digest")
+            if digest is not None and digest != content_digest(payload):
+                digest_bad += 1
+                continue
             good.append((key, payload))
         for key, payload in good:
             self._entries[key] = payload
         self._stats["shards_loaded"] += 1
+        if digest_bad:
+            self._stats["digest_mismatches"] += digest_bad
         if bad:
             self._stats["corrupt_lines"] += bad
+        if bad or digest_bad:
             self._quarantine(path, good)
 
     def _quarantine(self, path: str, salvaged: List[Tuple[str, dict]]) -> None:
@@ -321,10 +355,7 @@ class ResultStore:
         if salvaged:
             fsio.atomic_write_text(
                 path,
-                "".join(
-                    json.dumps({"key": k, "payload": p}) + "\n"
-                    for k, p in salvaged
-                ),
+                "".join(_record_line(k, p) for k, p in salvaged),
                 op="store",
             )
         self._stats["quarantined_shards"] += 1

@@ -20,6 +20,16 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.exceptions import InvariantError
+
+#: Paranoia mode (set by ``repro.verify.hooks.install``): firing a
+#: cancelled event becomes a hard :class:`InvariantError` instead of a
+#: counted no-op, and the kernel's checked run loop calls
+#: :meth:`EventQueue.consistency_check` periodically.  A module flag
+#: rather than per-queue state so the zero-overhead-off contract holds:
+#: the fast path reads it only on the (cold) cancelled-fire branch.
+PARANOIA = False
+
 _TIME = 0
 _SEQ = 1
 _CALLBACK = 2
@@ -65,9 +75,28 @@ class Event:
             self._queue._discard_live()
 
     def fire(self) -> None:
-        callback = self._entry[_CALLBACK]
-        if callback is not None:
-            callback(*self._entry[_ARGS])
+        """Invoke the callback now, unless the event was cancelled.
+
+        An event cancelled *between* being popped and being fired (the
+        pop hands ownership to the caller, so a model component may still
+        hold a handle and cancel it) is a counted no-op — the owning
+        queue's ``cancelled_fires`` tally — or, under paranoia mode, a
+        hard :class:`repro.exceptions.InvariantError`: the simulation
+        kernel never fires through :class:`Event`, so a cancelled fire
+        here means a model component is replaying a handle it gave up.
+        """
+        entry = self._entry
+        callback = entry[_CALLBACK]
+        if callback is None:
+            if PARANOIA:
+                raise InvariantError(
+                    f"fired a cancelled event (time={entry[_TIME]}, "
+                    f"seq={entry[_SEQ]})"
+                )
+            if self._queue is not None:
+                self._queue.cancelled_fires += 1
+            return
+        callback(*entry[_ARGS])
 
 
 class EventQueue:
@@ -82,6 +111,9 @@ class EventQueue:
         self._heap: List[list] = []
         self._seq = 0
         self._live = 0
+        #: Cancelled events whose handles were fired anyway (no-op'd).
+        #: Telemetry only — never part of checkpoint state.
+        self.cancelled_fires = 0
 
     def __len__(self) -> int:
         return self._live
@@ -194,3 +226,39 @@ class EventQueue:
         """
         self.clear()
         self._seq = 0
+        self.cancelled_fires = 0
+
+    def consistency_check(self) -> None:
+        """Assert the live count and heap bookkeeping agree (paranoia).
+
+        O(heap size); called periodically by the checked run loop that
+        :mod:`repro.verify.hooks` installs, never on the fast path.
+        Verifies three facts the event loop's correctness rests on:
+        every heap member is marked in-heap, the tracked live count
+        equals the number of uncancelled heap members, and the heap
+        ordering property holds (a corrupted entry list — e.g. a time
+        mutated after push — would silently reorder event delivery).
+        """
+        heap = self._heap
+        live = 0
+        for index, entry in enumerate(heap):
+            if not entry[_IN_HEAP]:
+                raise InvariantError(
+                    f"heap entry at index {index} (seq={entry[_SEQ]}) is "
+                    "marked out-of-heap but still sits in the heap"
+                )
+            if entry[_CALLBACK] is not None:
+                live += 1
+            parent = (index - 1) >> 1
+            if index > 0 and heap[index] < heap[parent]:
+                raise InvariantError(
+                    f"heap property violated at index {index}: entry "
+                    f"(time={entry[_TIME]}, seq={entry[_SEQ]}) sorts "
+                    f"before its parent (time={heap[parent][_TIME]}, "
+                    f"seq={heap[parent][_SEQ]})"
+                )
+        if live != self._live:
+            raise InvariantError(
+                f"event-queue live count drifted: tracked {self._live}, "
+                f"heap scan found {live} live of {len(heap)} entries"
+            )

@@ -42,6 +42,19 @@ class CheckpointError(ReproError):
     """
 
 
+class InvariantError(ReproError):
+    """A paranoia-mode invariant check failed: simulator state is
+    internally inconsistent.
+
+    Raised only while :mod:`repro.verify` is installed (``REPRO_VERIFY=1``
+    / ``--verify``).  Deliberately *not* retried by the execution layer's
+    fault handling in spirit — an invariant violation is a model bug, not
+    a transient fault — but it derives from :class:`ReproError` so
+    keep-going campaigns record it in the failure manifest like any other
+    casualty instead of dying mid-batch.
+    """
+
+
 class ExecutionError(ReproError):
     """A batch execution finished with runs that failed despite retries.
 

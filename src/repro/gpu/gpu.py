@@ -27,6 +27,16 @@ from repro.gpu.results import SimulationResult
 from repro.gpu.sm import StreamingMultiprocessor
 from repro.trace.kernel import WarpTrace, WorkloadTrace
 from repro.validate import validate_config, validate_trace
+from repro.verify.runtime import ensure_paranoia
+
+#: Optional kernel-boundary observer, set by ``repro.verify.hooks.install``.
+#: Called as ``_boundary_observer(sim, kernels_completed)`` after kernel
+#: ``kernels_completed - 1`` drains — the event queue is empty there, so
+#: the whole simulator state is plain counters and cache contents — for
+#: every boundary *including* the final one (which ``_maybe_checkpoint``
+#: never sees).  ``None`` (the default) keeps the disabled-verification
+#: cost at a single ``is None`` check per kernel boundary, never per event.
+_boundary_observer = None
 
 
 class _WarpRun:
@@ -93,6 +103,13 @@ class GPUSimulator:
         if self._workload is not None:
             raise SimulationError("GPUSimulator instances are single-use")
         validate_trace(workload)
+        # Self-arm paranoia mode (REPRO_VERIFY=1): installing here means
+        # direct simulate() callers and pool workers get the checked run
+        # loop too, not just runner-mediated paths.  The class-level
+        # patches take effect for the kernel_clock.run() call below even
+        # though this frame entered through the unpatched run().
+        ensure_paranoia()
+        self._arm_engine_faults(workload)
         self._workload = workload
         self._checkpointer = checkpointer
         tracer = get_tracer()
@@ -127,6 +144,24 @@ class GPUSimulator:
             # have nothing left to protect.
             checkpointer.cleanup()
         return result
+
+    def _arm_engine_faults(self, workload: WorkloadTrace) -> None:
+        """Spend any ``drop-miss`` REPRO_FAULT_INJECT budget on this run.
+
+        The directive prefix matches the workload trace name.  For MCM
+        memory the budget lands on the first chiplet's subsystem — the
+        aggregate counters sum over chiplets, so the corruption is
+        visible to the same conservation invariants either way.
+        """
+        # Deferred import: repro.analysis imports repro.gpu at package
+        # scope, so the reverse edge must not exist at module scope.
+        from repro.analysis.faults import engine_fault_budget
+
+        budget = engine_fault_budget("drop-miss", workload.name)
+        if budget:
+            subsystems = getattr(self.memory, "subsystems", None)
+            target = subsystems[0] if subsystems else self.memory
+            target._drop_miss_budget += budget
 
     def _prewarm(self, workload: WorkloadTrace) -> None:
         """Pre-fill the LLC with the workload's steady-state hot region.
@@ -192,6 +227,9 @@ class GPUSimulator:
         # Kernel drained: move to the next one, or finish the workload.
         self._trace_kernel_end()
         self._kernel_index += 1
+        observer = _boundary_observer
+        if observer is not None:
+            observer(self, self._kernel_index)
         if self._kernel_index < len(self._workload.kernels):
             # The boundary is the checkpoint cut: the event queue is
             # empty (every warp of every CTA has retired), so the whole

@@ -128,6 +128,12 @@ class MemorySubsystem:
         self.llc_misses = 0
         self.merged = 0
         self._prune_countdown = 4096
+        # Fault-injection seam (REPRO_FAULT_INJECT drop-miss directive):
+        # while positive, L1 miss increments are silently swallowed —
+        # the seeded model mutation the verify subsystem must catch.
+        # Deliberately absent from state_dict: injected corruption is
+        # not model state.
+        self._drop_miss_budget = 0
 
     def _jitter_factor(self) -> float:
         """Next latency multiplier in [1 - j, 1 + j] from the LCG."""
@@ -176,7 +182,10 @@ class MemorySubsystem:
         if l1.cache.access(line):
             self.l1_hits += 1
             return now + config.l1_hit_latency, L1_HIT
-        self.l1_misses += 1
+        if self._drop_miss_budget > 0:
+            self._drop_miss_budget -= 1
+        else:
+            self.l1_misses += 1
 
         # Merge with an in-flight miss to the same line (secondary miss):
         # no new NoC/LLC/DRAM traffic, data arrives with the primary.

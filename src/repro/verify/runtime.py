@@ -1,0 +1,52 @@
+"""Activation gate for paranoia mode: the ``REPRO_VERIFY`` switch.
+
+Kept import-light on purpose — :mod:`repro.gpu.gpu` imports this module
+at package scope so simulators can self-arm, and nothing here may import
+back into the model layers.  The hook installation itself lives in
+:mod:`repro.verify.hooks` and is reached only through a deferred import
+once the environment actually asks for verification.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["VERIFY_ENV", "arm_from_flag", "ensure_paranoia", "verify_enabled"]
+
+VERIFY_ENV = "REPRO_VERIFY"
+
+_FALSY = {"", "0", "false", "off", "no"}
+
+
+def verify_enabled(value: Optional[str] = None) -> bool:
+    """Is paranoia mode requested? (``REPRO_VERIFY``, tolerantly parsed)."""
+    if value is None:
+        value = os.environ.get(VERIFY_ENV, "")
+    return value.strip().lower() not in _FALSY
+
+
+def ensure_paranoia() -> None:
+    """Install the verify hooks when ``REPRO_VERIFY`` asks (idempotent).
+
+    Called at simulator run start and at the execution layer's worker /
+    serial entry points, mirroring how ``repro.obs`` workers self-arm.
+    One env lookup when the variable is unset — the entire disabled cost.
+    """
+    if verify_enabled():
+        from repro.verify.hooks import install
+
+        install()
+
+
+def arm_from_flag(enabled: bool) -> None:
+    """CLI ``--verify`` handler: arm this process *and* its children.
+
+    Exports ``REPRO_VERIFY=1`` (pool workers inherit the environment and
+    self-arm through :func:`ensure_paranoia`) and installs the hooks in
+    the current process immediately.  A no-op when ``enabled`` is false —
+    an unset flag must not clear an operator's exported variable.
+    """
+    if enabled:
+        os.environ[VERIFY_ENV] = "1"
+        ensure_paranoia()

@@ -33,6 +33,7 @@ from repro.analysis.runner import (
 )
 from repro.analysis.simcache import ResultStore
 from repro.exceptions import ExecutionError, ReproError
+from repro.verify.digest import content_digest
 from repro.workloads import get_benchmark
 
 VA = get_benchmark("va", weak=True)
@@ -342,6 +343,12 @@ class TestSchemaDriftSatellite:
         ]
         for record in records:
             mutate(record["payload"])
+            # A schema-drifted record written by a different code version
+            # is internally consistent: its digest matches its payload.
+            # (A digest that does NOT match is a different failure mode,
+            # covered by tests/analysis/test_simcache_digests.py.)
+            if "digest" in record:
+                record["digest"] = content_digest(record["payload"])
         with open(path, "w") as fh:
             for record in records:
                 fh.write(json.dumps(record) + "\n")

@@ -86,7 +86,10 @@ class TestCachedRunner:
         with open(shard) as fh:
             records = [json.loads(line) for line in fh if line.strip()]
         assert len(records) == 1
-        assert set(records[0]) == {"key", "payload"}
+        assert set(records[0]) == {"key", "payload", "digest"}
+        from repro.verify.digest import content_digest
+
+        assert records[0]["digest"] == content_digest(records[0]["payload"])
 
     def test_no_cache_path_means_memory_only(self, tiny_spec):
         runner = CachedRunner(None)

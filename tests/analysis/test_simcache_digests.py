@@ -1,0 +1,92 @@
+"""Content-addressed simcache records: digest on write, verify on read."""
+
+import json
+import os
+
+from repro.analysis.simcache import ResultStore
+from repro.verify.digest import content_digest
+
+
+def _shard_path(root):
+    files = [f for f in os.listdir(root) if f.endswith(".jsonl")]
+    assert len(files) == 1
+    return os.path.join(root, files[0])
+
+
+def _fresh_store(tmp_path, payloads):
+    root = os.path.join(tmp_path, "simcache")
+    store = ResultStore(root)
+    for key, payload in payloads.items():
+        store.put(key, payload, shard="bench")
+    store.flush()
+    return root
+
+
+PAYLOADS = {
+    "sim|one": {"cycles": 10.0, "l1_misses": 3},
+    "sim|two": {"cycles": 20.0, "l1_misses": 5},
+}
+
+
+class TestDigestOnWrite:
+    def test_every_record_carries_a_matching_digest(self, tmp_path):
+        root = _fresh_store(tmp_path, PAYLOADS)
+        with open(_shard_path(root)) as handle:
+            records = [json.loads(line) for line in handle if line.strip()]
+        assert len(records) == len(PAYLOADS)
+        for record in records:
+            assert record["digest"] == content_digest(record["payload"])
+
+
+class TestVerifyOnRead:
+    def test_clean_reload_counts_no_mismatches(self, tmp_path):
+        root = _fresh_store(tmp_path, PAYLOADS)
+        reloaded = ResultStore(root)
+        assert reloaded.get("sim|one") == PAYLOADS["sim|one"]
+        assert reloaded.stats()["digest_mismatches"] == 0
+
+    def test_corrupt_payload_degrades_to_miss(self, tmp_path):
+        root = _fresh_store(tmp_path, PAYLOADS)
+        shard = _shard_path(root)
+        with open(shard) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        # Alter one payload but keep its recorded digest: still valid
+        # JSON, so only the digest check can catch it.
+        assert lines[0]["key"] == "sim|one"
+        lines[0]["payload"]["cycles"] = 999.0
+        with open(shard, "w") as handle:
+            for record in lines:
+                handle.write(json.dumps(record) + "\n")
+        reloaded = ResultStore(root)
+        assert reloaded.get("sim|one") is None
+        assert reloaded.get("sim|two") == PAYLOADS["sim|two"]
+        stats = reloaded.stats()
+        assert stats["digest_mismatches"] == 1
+        assert stats["corrupt_lines"] == 0
+        assert stats["quarantined_shards"] == 1
+
+    def test_quarantine_salvage_survives_another_reload(self, tmp_path):
+        root = _fresh_store(tmp_path, PAYLOADS)
+        shard = _shard_path(root)
+        with open(shard) as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        lines[0]["payload"]["cycles"] = 999.0
+        with open(shard, "w") as handle:
+            for record in lines:
+                handle.write(json.dumps(record) + "\n")
+        ResultStore(root)  # quarantines + salvages the good record
+        salvaged = ResultStore(root)
+        assert salvaged.get("sim|two") == PAYLOADS["sim|two"]
+        assert salvaged.stats()["digest_mismatches"] == 0
+
+    def test_legacy_records_without_digest_still_load(self, tmp_path):
+        root = os.path.join(tmp_path, "simcache")
+        os.makedirs(root)
+        with open(os.path.join(root, "legacy.jsonl"), "w") as handle:
+            handle.write(
+                json.dumps({"key": "sim|old", "payload": {"cycles": 5.0}})
+                + "\n"
+            )
+        store = ResultStore(root)
+        assert store.get("sim|old") == {"cycles": 5.0}
+        assert store.stats()["digest_mismatches"] == 0

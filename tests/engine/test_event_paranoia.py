@@ -1,0 +1,50 @@
+"""Regression: an event cancelled between pop and fire is a counted
+no-op in the shipped engine and a hard error under paranoia mode."""
+
+import pytest
+
+import repro.engine.event as event_mod
+from repro.engine.event import EventQueue
+from repro.exceptions import InvariantError
+
+
+class TestCancelledFire:
+    def test_counted_noop_by_default(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, fired.append, "x")
+        event = queue.pop()
+        event.cancel()  # a component replays a handle it gave up
+        event.fire()
+        assert fired == []
+        assert queue.cancelled_fires == 1
+        event.fire()
+        assert queue.cancelled_fires == 2
+
+    def test_live_fire_is_never_counted(self):
+        queue = EventQueue()
+        fired = []
+        queue.push(1.0, fired.append, "x")
+        queue.pop().fire()
+        assert fired == ["x"]
+        assert queue.cancelled_fires == 0
+
+    def test_hard_error_under_paranoia(self, monkeypatch):
+        monkeypatch.setattr(event_mod, "PARANOIA", True)
+        queue = EventQueue()
+        queue.push(2.5, lambda: None)
+        event = queue.pop()
+        event.cancel()
+        with pytest.raises(InvariantError, match="cancelled event"):
+            event.fire()
+        assert queue.cancelled_fires == 0  # escalated, not counted
+
+    def test_reset_zeroes_the_tally(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        event = queue.pop()
+        event.cancel()
+        event.fire()
+        assert queue.cancelled_fires == 1
+        queue.reset()
+        assert queue.cancelled_fires == 0

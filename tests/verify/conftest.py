@@ -1,0 +1,36 @@
+"""Verify-subsystem fixtures: pristine hooks and env around every test.
+
+Paranoia mode is process-global (module flags, patched methods), so a
+leaked install would silently change the semantics of every later test.
+The autouse fixture clears ``REPRO_VERIFY`` / ``REPRO_FAULT_INJECT`` and
+force-uninstalls the hooks on both sides of each test.
+"""
+
+import pytest
+
+from repro.gpu import GPUConfig
+from repro.verify import hooks
+from repro.workloads import STRONG_SCALING, build_trace
+
+
+@pytest.fixture(autouse=True)
+def _pristine_verify(monkeypatch):
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_INJECT", raising=False)
+    hooks.uninstall()
+    hooks.reset_stats()
+    yield
+    hooks.uninstall()
+    hooks.reset_stats()
+
+
+def small_setup(abbr="btree", size=4, work_scale=0.1, seed=0):
+    """A sub-second real workload: (config, trace) for a scaled system."""
+    config = GPUConfig.paper_baseline().scaled(size)
+    trace = build_trace(
+        STRONG_SCALING[abbr],
+        work_scale=work_scale,
+        capacity_scale=config.capacity_scale,
+        seed=seed,
+    )
+    return config, trace

@@ -1,0 +1,70 @@
+"""Canonical digests: stability, volatility exclusion, field sensitivity."""
+
+import pytest
+
+from repro.verify.digest import (
+    VOLATILE_RESULT_FIELDS,
+    canonical_json,
+    content_digest,
+    payload_digest,
+    state_digest,
+    state_field_digests,
+)
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_compact_sorted_encoding(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_non_serializable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"a": {1, 2}})
+
+
+class TestContentDigest:
+    def test_prefix_and_determinism(self):
+        digest = content_digest({"x": 1})
+        assert digest.startswith("sha256:")
+        assert digest == content_digest({"x": 1})
+
+    def test_sensitive_to_values(self):
+        assert content_digest({"x": 1}) != content_digest({"x": 2})
+
+
+class TestPayloadDigest:
+    def test_wall_time_excluded(self):
+        assert "wall_time_s" in VOLATILE_RESULT_FIELDS
+        a = {"cycles": 100, "wall_time_s": 0.5}
+        b = {"cycles": 100, "wall_time_s": 9.9}
+        assert payload_digest(a) == payload_digest(b)
+
+    def test_real_fields_still_matter(self):
+        a = {"cycles": 100, "wall_time_s": 0.5}
+        b = {"cycles": 101, "wall_time_s": 0.5}
+        assert payload_digest(a) != payload_digest(b)
+
+    def test_nested_volatile_fields_excluded(self):
+        # MRC payloads carry their host-time measurement inside the
+        # metadata block; volatility is a property of the field name at
+        # any depth.
+        a = {"mpki": [5.0], "metadata": {"collection_seconds": 1.9}}
+        b = {"mpki": [5.0], "metadata": {"collection_seconds": 0.2}}
+        c = {"mpki": [4.0], "metadata": {"collection_seconds": 1.9}}
+        assert payload_digest(a) == payload_digest(b)
+        assert payload_digest(a) != payload_digest(c)
+
+
+class TestStateDigests:
+    def test_per_field_localization(self):
+        state = {"clock": {"now": 1.0}, "memory": {"l1_hits": 5}}
+        tweaked = {"clock": {"now": 1.0}, "memory": {"l1_hits": 6}}
+        before = state_field_digests(state)
+        after = state_field_digests(tweaked)
+        assert before["clock"] == after["clock"]
+        assert before["memory"] != after["memory"]
+        assert state_digest(state) != state_digest(tweaked)

@@ -1,0 +1,57 @@
+"""Seeded fuzzer: determinism, clean fixed seeds, shrinking on a real fault."""
+
+import pytest
+
+from repro.analysis.faults import FAULT_INJECT_ENV
+from repro.verify.fuzz import check_case, random_case, run_fuzz, shrink
+
+
+class TestGeneration:
+    def test_same_seed_same_case(self):
+        assert random_case(5).describe() == random_case(5).describe()
+
+    def test_different_seeds_differ(self):
+        descriptions = {random_case(seed).describe() for seed in range(8)}
+        assert len(descriptions) > 1
+
+    def test_cases_are_buildable(self):
+        case = random_case(3)
+        assert case.spec.kernels
+        assert all(k.threads_per_cta >= 32 for k in case.spec.kernels)
+        assert case.size in (2, 4)
+
+
+class TestCleanSeeds:
+    def test_ci_seed_prefix_is_green(self):
+        report = run_fuzz(range(4))
+        assert report.ok
+        assert report.cases_run == 4
+
+    def test_time_budget_stops_early(self):
+        report = run_fuzz(range(1000), time_budget_s=0.0)
+        assert report.cases_run <= 1
+
+
+class TestInjectedFault:
+    @pytest.fixture
+    def drop_miss(self, monkeypatch):
+        # Every fuzz spec is named fuzz<seed>, so this prefix hits all.
+        monkeypatch.setenv(FAULT_INJECT_ENV, "drop-miss:fuzz")
+
+    def test_fuzzer_catches_the_mutation(self, drop_miss):
+        report = run_fuzz(range(2), shrink_failures=False)
+        assert not report.ok
+        assert len(report.failures) == 2
+        for failure in report.failures:
+            assert "miss conservation" in failure.error
+
+    def test_shrink_minimizes_while_still_failing(self, drop_miss):
+        case = random_case(0)
+        assert check_case(case) is not None
+        shrunk = shrink(case)
+        assert check_case(shrunk) is not None
+        assert len(shrunk.spec.kernels) == 1
+        assert shrunk.spec.kernels[0].num_ctas == 1
+        assert shrunk.spec.kernels[0].threads_per_cta == 32
+        assert not shrunk.spec.params
+        assert shrunk.size == 2

@@ -1,0 +1,71 @@
+"""The zero-overhead-off contract: uninstall restores the pristine engine."""
+
+import repro.analysis.runner as runner_mod
+import repro.engine.event as event_mod
+import repro.gpu.gpu as gpu_mod
+from repro.core.model import ScaleModelPredictor
+from repro.engine.kernel import SimulationKernel
+from repro.gpu.gpu import GPUSimulator
+from repro.verify import hooks
+
+
+def _pristine_snapshot():
+    return (
+        SimulationKernel.run,
+        GPUSimulator._build_result,
+        ScaleModelPredictor.predict,
+        runner_mod.compute_mrc,
+        gpu_mod._boundary_observer,
+        event_mod.PARANOIA,
+    )
+
+
+class TestInstallUninstall:
+    def test_uninstall_restores_identity(self):
+        before = _pristine_snapshot()
+        hooks.install()
+        assert SimulationKernel.run is not before[0]
+        assert event_mod.PARANOIA is True
+        assert gpu_mod._boundary_observer is not None
+        hooks.uninstall()
+        after = _pristine_snapshot()
+        for original, restored in zip(before, after):
+            assert restored is original
+
+    def test_install_is_idempotent(self):
+        before = _pristine_snapshot()
+        hooks.install()
+        patched = SimulationKernel.run
+        hooks.install()
+        assert SimulationKernel.run is patched
+        hooks.uninstall()
+        hooks.uninstall()
+        assert SimulationKernel.run is before[0]
+
+    def test_disabled_by_default(self):
+        # The shipped engine carries no paranoia state: flag off, no
+        # observer, and the hooks module reports not-installed.
+        assert not hooks.installed()
+        assert event_mod.PARANOIA is False
+        assert gpu_mod._boundary_observer is None
+
+
+class TestParanoiaContext:
+    def test_restores_prior_off_state(self):
+        with hooks.paranoia(True):
+            assert hooks.installed()
+        assert not hooks.installed()
+
+    def test_restores_prior_on_state(self):
+        hooks.install()
+        with hooks.paranoia(False):
+            assert not hooks.installed()
+        assert hooks.installed()
+        hooks.uninstall()
+
+    def test_nested_scopes(self):
+        with hooks.paranoia(True):
+            with hooks.paranoia(False):
+                assert not hooks.installed()
+            assert hooks.installed()
+        assert not hooks.installed()

@@ -1,0 +1,47 @@
+"""Serial vs. pooled execution must leave byte-identical store payloads
+(modulo ``wall_time_s``, a host-time measurement)."""
+
+import os
+
+from repro.analysis.faults import ExecutionPolicy
+from repro.analysis.parallel import ParallelRunner, RunRequest
+from repro.analysis.simcache import ResultStore
+from repro.verify.digest import payload_digest
+from repro.workloads import STRONG_SCALING
+
+
+def _requests():
+    return [
+        RunRequest("sim", STRONG_SCALING[abbr], size=4, work_scale=0.1,
+                   seed=0)
+        for abbr in ("va", "btree")
+    ]
+
+
+def _run(root, jobs):
+    store = ResultStore(os.path.join(root, f"simcache-j{jobs}"))
+    runner = ParallelRunner(store, jobs=jobs, policy=ExecutionPolicy())
+    report = runner.run_batch_report(_requests())
+    store.flush()
+    return store, report
+
+
+class TestSerialVsJobs:
+    def test_pooled_payloads_digest_identically(self, tmp_path):
+        serial_store, serial_report = _run(str(tmp_path), jobs=1)
+        pooled_store, pooled_report = _run(str(tmp_path), jobs=2)
+        assert serial_report.executed == len(_requests())
+        assert pooled_report.executed == len(_requests())
+        for request in _requests():
+            serial_payload = serial_store.get(request.key)
+            pooled_payload = pooled_store.get(request.key)
+            assert serial_payload is not None
+            assert pooled_payload is not None
+            assert payload_digest(serial_payload) == payload_digest(
+                pooled_payload
+            )
+            stripped = dict(serial_payload)
+            stripped.pop("wall_time_s", None)
+            pooled_stripped = dict(pooled_payload)
+            pooled_stripped.pop("wall_time_s", None)
+            assert stripped == pooled_stripped

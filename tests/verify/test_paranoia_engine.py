@@ -1,0 +1,80 @@
+"""Paranoia mode against the real engine: clean runs pass, seeded
+engine mutations (``REPRO_FAULT_INJECT=drop-miss:...``) are caught."""
+
+import pytest
+
+from repro.analysis.faults import FAULT_INJECT_ENV
+from repro.exceptions import InvariantError
+from repro.gpu import GPUSimulator
+from repro.verify import hooks
+from repro.verify.runtime import VERIFY_ENV
+
+from tests.verify.conftest import small_setup
+
+
+class TestCleanRuns:
+    def test_paranoia_run_matches_plain_run(self):
+        config, trace = small_setup()
+        plain = GPUSimulator(config).run(trace)
+        with hooks.paranoia(True):
+            checked = GPUSimulator(config).run(trace)
+        assert checked.cycles == plain.cycles
+        assert checked.l1_misses == plain.l1_misses
+        assert checked.warp_instructions == plain.warp_instructions
+
+    def test_every_checker_fires(self):
+        config, trace = small_setup()  # btree: 2 kernels
+        with hooks.paranoia(True):
+            GPUSimulator(config).run(trace)
+        stats = hooks.VERIFY_STATS
+        assert stats["runs_checked"] >= 1
+        assert stats["events_checked"] > 0
+        assert stats["queue_scans"] >= 1
+        assert stats["boundaries_checked"] == len(trace.kernels)
+        assert stats["results_checked"] == 1
+
+
+class TestSeededEngineMutation:
+    """The ISSUE's acceptance demo: a dropped miss increment, injected
+    behind ``REPRO_FAULT_INJECT``, must not survive paranoia mode."""
+
+    def test_drop_miss_caught_at_first_boundary(self, monkeypatch):
+        config, trace = small_setup()
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"drop-miss:{trace.name}")
+        with hooks.paranoia(True):
+            with pytest.raises(InvariantError, match="miss conservation"):
+                GPUSimulator(config).run(trace)
+
+    def test_drop_miss_invisible_without_paranoia(self, monkeypatch):
+        # The fault itself is independent of verification: without the
+        # hooks the mutated run completes and is exactly one miss short.
+        config, trace = small_setup()
+        clean = GPUSimulator(config).run(trace)
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"drop-miss:{trace.name}")
+        mutated = GPUSimulator(config).run(trace)
+        assert mutated.l1_hits + mutated.l1_misses == (
+            mutated.memory_accesses - 1
+        )
+        assert mutated.l1_misses == clean.l1_misses - 1
+
+    def test_drop_miss_ignores_other_workloads(self, monkeypatch):
+        config, trace = small_setup()
+        monkeypatch.setenv(FAULT_INJECT_ENV, "drop-miss:doesnotmatch")
+        with hooks.paranoia(True):
+            GPUSimulator(config).run(trace)  # must not raise
+
+
+class TestSelfArming:
+    def test_simulator_self_arms_from_env(self, monkeypatch):
+        config, trace = small_setup(abbr="va", size=2, work_scale=0.05)
+        monkeypatch.setenv(VERIFY_ENV, "1")
+        assert not hooks.installed()
+        GPUSimulator(config).run(trace)
+        assert hooks.installed()
+        assert hooks.VERIFY_STATS["runs_checked"] >= 1
+
+    def test_falsy_env_values_do_not_arm(self, monkeypatch):
+        config, trace = small_setup(abbr="va", size=2, work_scale=0.05)
+        monkeypatch.setenv(VERIFY_ENV, "0")
+        GPUSimulator(config).run(trace)
+        assert not hooks.installed()

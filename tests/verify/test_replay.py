@@ -1,0 +1,78 @@
+"""Differential replay: cold vs. resume, checked vs. plain, and the
+first-divergence localizer on a genuinely mutated leg."""
+
+import pytest
+
+from repro.analysis.faults import FAULT_INJECT_ENV
+from repro.gpu import GPUSimulator
+from repro.verify.replay import (
+    digest_run,
+    first_divergence,
+    replay_checked_vs_plain,
+    replay_cold_vs_resume,
+)
+
+from tests.verify.conftest import small_setup
+
+
+def _factory(config):
+    return lambda: GPUSimulator(config)
+
+
+class TestColdVsResume:
+    def test_resume_digests_match_every_boundary(self):
+        config, trace = small_setup()  # btree: 2 kernels, 1 boundary
+        cold, resumed, divergence = replay_cold_vs_resume(
+            _factory(config), trace
+        )
+        assert divergence is None
+        assert resumed.resumed_from is not None
+        assert len(cold.boundaries) == len(trace.kernels) - 1
+        assert cold.result_digest == resumed.result_digest
+
+    def test_three_kernel_resume(self):
+        config, trace = small_setup(abbr="dct", work_scale=0.05)
+        for resume_at in (1, 2):
+            _, resumed, divergence = replay_cold_vs_resume(
+                _factory(config), trace, resume_at=resume_at
+            )
+            assert divergence is None
+            assert resumed.resumed_from == resume_at
+
+    def test_single_kernel_has_no_boundary(self):
+        config, trace = small_setup(abbr="va", size=2, work_scale=0.05)
+        with pytest.raises(ValueError, match="no internal kernel"):
+            replay_cold_vs_resume(_factory(config), trace)
+
+
+class TestCheckedVsPlain:
+    def test_checked_loop_is_semantically_identical(self):
+        config, trace = small_setup()
+        plain, checked, divergence = replay_checked_vs_plain(
+            _factory(config), trace
+        )
+        assert divergence is None
+        assert plain.result_digest == checked.result_digest
+
+
+class TestFirstDivergence:
+    def test_determinism_differential_is_clean(self):
+        config, trace = small_setup()
+        a = digest_run(_factory(config), trace)
+        b = digest_run(_factory(config), trace)
+        assert first_divergence(a, b) is None
+
+    def test_mutated_leg_names_first_kernel_and_field(self, monkeypatch):
+        config, trace = small_setup()
+        clean = digest_run(_factory(config), trace)
+        monkeypatch.setenv(FAULT_INJECT_ENV, f"drop-miss:{trace.name}")
+        mutated = digest_run(_factory(config), trace)
+        divergence = first_divergence(clean, mutated)
+        assert divergence is not None
+        # The single dropped increment lands in kernel 0, so the first
+        # boundary's memory digest is where the paths split.
+        assert divergence.kernel == 1
+        assert divergence.field == "memory"
+        text = str(divergence)
+        assert "first divergence at kernel boundary 1" in text
+        assert "memory" in text

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Generative workload-zoo campaign: per-regime accuracy on generated specs.
+
+Draws a seeded, stratified batch of grammar-generated workloads
+(:mod:`repro.zoo`), sweeps each across system sizes through the cached
+runner, classifies the measured scaling regime, scores the scale-model
+prediction against the detailed engine at the target size, and writes a
+schema-versioned campaign artifact with per-regime MAPE, the
+intended-versus-measured regime-confusion matrix and coverage stats.
+Re-running with the same seed reproduces the same spec digests bit for
+bit.
+
+Usage:
+  python scripts/zoo_campaign.py --quick --seed 9          # CI-sized run
+  python scripts/zoo_campaign.py --n 24 --seed 3 --jobs 8
+  python scripts/zoo_campaign.py --validate-only ZOO_CAMPAIGN.json
+  python scripts/zoo_campaign.py --report-only ZOO_CAMPAIGN.json
+
+Exit codes: 0 ok, 1 campaign unusable (no surviving workloads),
+2 schema-invalid artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+from repro.analysis.runner import CachedRunner, default_jobs
+from repro.exceptions import ReproError
+from repro.fsio import atomic_write_text
+from repro.resilience import apply_memory_limit, install_shutdown_handlers
+from repro.zoo import (
+    CampaignPlan,
+    render_campaign,
+    run_campaign,
+    validate_campaign_artifact,
+)
+
+EXIT_OK = 0
+EXIT_FAILED = 1
+EXIT_INVALID = 2
+
+#: The --quick preset: a CI-sized stratified mini-campaign.
+_QUICK_N = 12
+
+
+def _load_artifact(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _validate(path: str, document: dict) -> bool:
+    problems = validate_campaign_artifact(document)
+    if problems:
+        print(f"{path}: artifact is not schema-valid:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return False
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=24,
+                        help="generated workloads to draw, dealt round-robin "
+                             "across the regimes (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign seed; fixes every spec digest and "
+                             "simulation (default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help=f"CI preset: {_QUICK_N} workloads on the small "
+                             "size sweep")
+    parser.add_argument("--scales", type=int, nargs="+", default=[8, 16],
+                        help="profile sizes the scale model fits at "
+                             "(default: %(default)s)")
+    parser.add_argument("--target", type=int, default=32,
+                        help="size the model predicts and the engine "
+                             "verifies (default: %(default)s)")
+    parser.add_argument("--work-scale", type=float, default=1.0,
+                        help="workload miniaturization factor "
+                             "(default: %(default)s)")
+    parser.add_argument("--sample-scale", type=float, default=1.0,
+                        help="CTA-count cost knob for the sampler "
+                             "(default: %(default)s)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="worker processes for the sweep (default 0 = "
+                             "one per available core)")
+    parser.add_argument("--out", default="ZOO_CAMPAIGN.json",
+                        help="artifact path (default: %(default)s)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="simulation cache directory (default: a fresh "
+                             "temp dir, removed afterwards)")
+    parser.add_argument("--validate-only", metavar="ARTIFACT", default=None,
+                        help="schema-validate an existing artifact and exit "
+                             "(no simulations run)")
+    parser.add_argument("--report-only", metavar="ARTIFACT", default=None,
+                        help="render an existing artifact's report and exit "
+                             "(no simulations run)")
+    args = parser.parse_args(argv)
+
+    if args.validate_only:
+        document = _load_artifact(args.validate_only)
+        if not _validate(args.validate_only, document):
+            return EXIT_INVALID
+        accuracy = document["accuracy"]
+        print(
+            f"{args.validate_only}: schema-valid "
+            f"({accuracy['count']} workloads, "
+            f"MAPE {accuracy['mape_pct']:.2f}%)"
+        )
+        return EXIT_OK
+
+    if args.report_only:
+        document = _load_artifact(args.report_only)
+        if not _validate(args.report_only, document):
+            return EXIT_INVALID
+        print(render_campaign(document), end="")
+        return EXIT_OK
+
+    install_shutdown_handlers().reset()
+    apply_memory_limit()
+
+    plan = CampaignPlan(
+        n=_QUICK_N if args.quick else args.n,
+        seed=args.seed,
+        scales=tuple(args.scales),
+        target=args.target,
+        work_scale=args.work_scale,
+        sample_scale=args.sample_scale,
+    )
+    jobs = args.jobs if args.jobs > 0 else default_jobs()
+    cache_dir = args.cache_dir
+    temp_cache = cache_dir is None
+    if temp_cache:
+        cache_dir = tempfile.mkdtemp(prefix="repro-zoo-")
+    try:
+        runner = CachedRunner(os.path.join(cache_dir, "simcache"), jobs=jobs)
+        try:
+            document = run_campaign(plan, runner, log=print)
+        except ReproError as error:
+            print(f"campaign failed: {error}", file=sys.stderr)
+            return EXIT_FAILED
+    finally:
+        if temp_cache:
+            shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if not _validate(args.out, document):
+        return EXIT_INVALID
+    out_dir = os.path.dirname(args.out)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    atomic_write_text(
+        args.out, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.out}")
+    print()
+    print(render_campaign(document), end="")
+    return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

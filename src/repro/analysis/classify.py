@@ -26,17 +26,27 @@ def classify_scaling(
 ) -> ScalingBehavior:
     """Classify the scaling behaviour of an IPC-versus-size profile.
 
-    ``ipcs[i]`` is the performance at ``sizes[i]``; sizes must be strictly
-    increasing and at least two points are required.
+    ``ipcs[i]`` is the performance at ``sizes[i]``; at least two points
+    are required.  Sizes may arrive in any order — the profile is
+    sorted jointly with its IPCs before the doubling ratios are formed,
+    so caller ordering cannot silently change the classification.
+    Duplicate sizes are rejected: two IPC readings for one size have no
+    meaningful doubling ratio between them (the 0-size step would make
+    the per-doubling growth factor explode).
     """
     if len(ipcs) != len(sizes) or len(ipcs) < 2:
         raise PredictionError(
             f"need matching ipcs/sizes with >= 2 points, got {len(ipcs)}/{len(sizes)}"
         )
-    if any(b <= a for a, b in zip(sizes, sizes[1:])):
-        raise PredictionError(f"sizes must be strictly increasing: {sizes}")
+    if len(set(sizes)) != len(sizes):
+        raise PredictionError(f"duplicate sizes in profile: {list(sizes)}")
+    if any(s <= 0 for s in sizes):
+        raise PredictionError(f"sizes must be positive: {list(sizes)}")
     if any(x <= 0 for x in ipcs):
         raise PredictionError("IPC values must be positive")
+    pairs = sorted(zip(sizes, ipcs))
+    sizes = [s for s, __ in pairs]
+    ipcs = [ipc for __, ipc in pairs]
 
     ideal = sizes[-1] / sizes[0]
     normalized = (ipcs[-1] / ipcs[0]) / ideal

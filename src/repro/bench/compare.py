@@ -49,6 +49,13 @@ class Thresholds:
     #: Allowed shed-rate growth in absolute fraction points
     #: (0.15 = a baseline shedding 5% may shed up to 20%).
     service_shed_pts: float = 0.15
+    #: Allowed zoo MAPE growth in absolute percentage points.  The zoo
+    #: campaign is deterministic in its seed, like the accuracy family,
+    #: but spans generated workloads (cliff predictions with triple-digit
+    #: APEs), so its tolerance is wider than ``mape_pp``.
+    zoo_mape_pp: float = 5.0
+    #: Allowed regime-match-rate loss in absolute fraction points.
+    zoo_match_pts: float = 0.1
 
 
 @dataclass(frozen=True)
@@ -194,6 +201,46 @@ def compare_artifacts(
                         "service", "shed_rate",
                         base_service["shed_rate"],
                         cur_service["shed_rate"], shed_limit,
+                    )
+                )
+
+    # Same opt-in rule for the generated-workload zoo: gate once a
+    # baseline carries the block, and losing it is itself a regression.
+    base_zoo = baseline.get("zoo")
+    if base_zoo is not None:
+        cur_zoo = current.get("zoo")
+        if cur_zoo is None:
+            regressions.append(
+                Regression("zoo", "zoo (missing)", 1.0, 0.0, 1.0)
+            )
+        else:
+            _check_lower_better(
+                regressions, "zoo", "campaign_wall_s",
+                base_zoo["campaign_wall_s"], cur_zoo["campaign_wall_s"],
+                thresholds.walltime_frac,
+            )
+            _check_higher_better(
+                regressions, "zoo", "workloads_per_sec",
+                base_zoo["workloads_per_sec"], cur_zoo["workloads_per_sec"],
+                thresholds.throughput_frac,
+            )
+            mape_limit = base_zoo["mape_pct"] + thresholds.zoo_mape_pp
+            if cur_zoo["mape_pct"] > mape_limit:
+                regressions.append(
+                    Regression(
+                        "zoo", "mape_pct",
+                        base_zoo["mape_pct"], cur_zoo["mape_pct"], mape_limit,
+                    )
+                )
+            match_limit = (
+                base_zoo["regime_match_rate"] - thresholds.zoo_match_pts
+            )
+            if cur_zoo["regime_match_rate"] < match_limit:
+                regressions.append(
+                    Regression(
+                        "zoo", "regime_match_rate",
+                        base_zoo["regime_match_rate"],
+                        cur_zoo["regime_match_rate"], match_limit,
                     )
                 )
 

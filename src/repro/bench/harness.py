@@ -15,6 +15,9 @@ results into the ``BENCH_<n>.json`` families:
 * **accuracy**: the scale-model predictor's MAPE against the detailed
   simulation, per scaling regime — the paper's headline claim as a
   regression-gated number;
+* **zoo**: a seeded :mod:`repro.zoo` mini-campaign over *generated*
+  workloads — prediction MAPE and intended-versus-measured regime match
+  rate on specs no human hand-picked;
 * **memory**: the process peak RSS via :mod:`repro.obs.resources`.
 
 Timing is cross-checked: when the :mod:`repro.obs` profile hooks are
@@ -42,8 +45,14 @@ from repro.core import ScaleModelPredictor, ScaleModelProfile
 from repro.gpu.results import SimulationResult
 from repro.obs import run_phase, sample_peak_rss
 from repro.obs.metrics import get_registry
+from repro.zoo import CampaignPlan, run_campaign, zoo_bench_block
 
 __all__ = ["run_bench"]
+
+#: Generated workloads in the harness's zoo mini-campaign, per tier.
+#: Deterministic in the matrix seed, so the zoo family gates as tightly
+#: as the accuracy family.
+_ZOO_N = {"quick": 6, "full": 12}
 
 #: Checkpointing off for benchmark runs: snapshot I/O is not part of the
 #: engine throughput being measured, and bench campaigns are short.
@@ -201,7 +210,18 @@ def run_bench(
 
     classes = _throughput_by_class(matrix, sims)
     harness_sim_wall = sum(block["wall_time_s"] for block in classes.values())
+    # Capture before the zoo phase: the cross-check pairs the engine-loop
+    # time with the *matrix* runs' wall sum, and zoo runs are neither.
     engine_loop_s = _engine_loop_seconds() - loop_before
+
+    # The generated-workload mini-campaign runs through its own cache
+    # sibling so the cold-count assertion above and the warm hit counts
+    # stay facts about the fixed matrix alone.
+    with run_phase("bench.zoo", tier=matrix.tier, jobs=jobs):
+        zoo_plan = CampaignPlan(n=_ZOO_N[matrix.tier], seed=matrix.seed)
+        zoo_artifact = run_campaign(
+            zoo_plan, _runner(f"{cache_dir}-zoo", jobs)
+        )
 
     return {
         "schema_version": SCHEMA_VERSION,
@@ -236,6 +256,7 @@ def run_bench(
             "warm_misses": warm_misses,
         },
         "accuracy": accuracy,
+        "zoo": zoo_bench_block(zoo_artifact),
         "memory": {"peak_rss_bytes": sample_peak_rss()},
         "cross_check": {
             # Instrumented loop time (repro.obs engine hook) versus the

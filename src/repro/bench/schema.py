@@ -20,6 +20,7 @@ __all__ = [
     "ARTIFACT_KIND",
     "TIERS",
     "SERVICE_METRICS",
+    "ZOO_METRICS",
     "validate_artifact",
 ]
 
@@ -54,6 +55,17 @@ SERVICE_METRICS = (
     "throughput_rps",
     "shed_rate",
     "requests",
+)
+
+#: Generated-workload-zoo metrics (optional block; a seeded mini-campaign
+#: over :mod:`repro.zoo` generated specs run by the harness).
+ZOO_METRICS = (
+    "workloads",
+    "runs",
+    "campaign_wall_s",
+    "workloads_per_sec",
+    "regime_match_rate",
+    "mape_pct",
 )
 
 
@@ -152,5 +164,25 @@ def validate_artifact(document: Any) -> List[str]:
                     f"service.shed_rate: expected a fraction in [0, 1], "
                     f"got {shed_rate!r}"
                 )
+
+    zoo = document.get("zoo")
+    if zoo is not None:
+        _check_metric_block(problems, "zoo", zoo, ZOO_METRICS)
+        if isinstance(zoo, dict):
+            match_rate = zoo.get("regime_match_rate")
+            if _is_number(match_rate) and match_rate > 1:
+                problems.append(
+                    f"zoo.regime_match_rate: expected a fraction in [0, 1], "
+                    f"got {match_rate!r}"
+                )
+            per_regime = zoo.get("per_regime")
+            if not isinstance(per_regime, dict) or not per_regime:
+                problems.append("zoo.per_regime: expected a non-empty object")
+            else:
+                for regime, block in per_regime.items():
+                    _check_metric_block(
+                        problems, f"zoo.per_regime.{regime}", block,
+                        ("mape_pct", "count"),
+                    )
 
     return problems

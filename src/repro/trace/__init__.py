@@ -12,6 +12,7 @@ whole workload in memory.
 from repro.trace.kernel import CTATrace, KernelTrace, WarpTrace, WorkloadTrace
 from repro.trace.sampling import SievePlan, sieve_sample
 from repro.trace import patterns
+from repro.trace.io import trace_digest
 
 __all__ = [
     "WarpTrace",
@@ -21,4 +22,5 @@ __all__ = [
     "SievePlan",
     "sieve_sample",
     "patterns",
+    "trace_digest",
 ]

@@ -10,6 +10,7 @@ loads back into a :class:`~repro.trace.kernel.WorkloadTrace` whose
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import List
 
@@ -138,3 +139,28 @@ def _jsonable(metadata: dict) -> dict:
         else:
             out[key] = str(value)
     return out
+
+
+def trace_digest(workload: WorkloadTrace) -> str:
+    """``sha256:<hex>`` over the full materialized trace content.
+
+    Walks every CTA of every kernel (build on demand, nothing retained)
+    and hashes the exact per-warp line/compute streams plus tails and
+    launch offsets.  Two traces digest equally iff a simulator would
+    replay identical streams — the determinism contract of
+    :func:`repro.workloads.generators.build_trace` made checkable
+    across processes and hosts.
+    """
+    hasher = hashlib.sha256()
+    for kernel in workload.kernels:
+        hasher.update(
+            repr((kernel.name, kernel.num_ctas, kernel.threads_per_cta)).encode()
+        )
+        for cta in kernel.iter_ctas():
+            for warp in cta.warps:
+                hasher.update(np.asarray(warp.lines, dtype=np.int64).tobytes())
+                hasher.update(np.asarray(warp.compute, dtype=np.int64).tobytes())
+                hasher.update(
+                    repr((warp.tail_compute, warp.start_offset)).encode()
+                )
+    return "sha256:" + hasher.hexdigest()

@@ -30,6 +30,10 @@ Families
 ``hotcold``
     A fixed-size hot shared region (Zipf) mixed with a cold scaling
     stream; used for unet and for the weak-scaling variants of bs.
+``generated``
+    Composite family for grammar-generated specs (:mod:`repro.zoo`):
+    one kernel per phase, each delegating to one of the families above
+    with phase-specific parameters.
 
 Weak scaling multiplies CTA counts and footprints by ``work_scale``,
 mirroring Table IV's input scaling.  A ``sigma_growth`` parameter lets
@@ -337,6 +341,48 @@ def _hotcold_kernel(
     return build
 
 
+def _generated_kernel(
+    ctx: _TraceContext, shape: KernelShape, kernel_idx: int, num_ctas: int
+) -> Callable[[int], CTATrace]:
+    """Composite family for grammar-generated specs (:mod:`repro.zoo`).
+
+    A generated spec carries one :class:`~repro.zoo.grammar.PhaseSpec`
+    per kernel; each kernel delegates to its phase's underlying family
+    with the phase parameters overlaid.  The original ``kernel_idx``
+    is passed through so every phase keeps its own RNG stream and
+    (for private regions) its own address range; sweep/hotspot phases
+    deliberately share ``HOT_BASE`` so working-set ramps and phased
+    mixes reuse the same hot region across phases.
+    """
+    phases = getattr(ctx.spec, "phases", None)
+    if not phases:
+        raise WorkloadError(
+            f"{ctx.spec.abbr}: family 'generated' requires a spec with "
+            "per-kernel phases (see repro.zoo.grammar.GeneratedSpec)"
+        )
+    phase = phases[kernel_idx]
+    if phase.family not in _FAMILIES or phase.family == "generated":
+        raise WorkloadError(
+            f"{ctx.spec.abbr}: phase {kernel_idx} names unknown family "
+            f"{phase.family!r}"
+        )
+    sub_spec = BenchmarkSpec(
+        abbr=f"{ctx.spec.abbr}.p{kernel_idx}",
+        name=f"{ctx.spec.name} phase {kernel_idx}",
+        suite="zoo",
+        footprint_mb=float(phase.params.get("fp_mb", ctx.spec.footprint_mb)),
+        insns_m=0.0,
+        kernels=(shape,),
+        scaling=ctx.spec.scaling,
+        family=phase.family,
+        params=dict(phase.params),
+    )
+    sub_ctx = _TraceContext(
+        sub_spec, ctx.work_scale, ctx.capacity_scale, ctx.seed
+    )
+    return _FAMILIES[phase.family](sub_ctx, shape, kernel_idx, num_ctas)
+
+
 _FAMILIES = {
     "sweep": _sweep_kernel,
     "irregular": _irregular_kernel,
@@ -344,6 +390,7 @@ _FAMILIES = {
     "tiled": _tiled_kernel,
     "chase": _chase_kernel,
     "hotcold": _hotcold_kernel,
+    "generated": _generated_kernel,
 }
 
 

@@ -1,0 +1,421 @@
+"""The zoo campaign driver: generated workloads through the cached runner.
+
+A campaign draws a stratified batch of generated specs, sweeps every one
+across the plan's system sizes through a :class:`~repro.analysis.runner.
+CachedRunner` (parallel prefetch, retries, breakers and checkpointing
+come for free), then asks two questions per workload:
+
+* what scaling regime did the detailed simulation *measure*
+  (:func:`~repro.analysis.classify.classify_scaling` over the IPC/size
+  profile), versus the regime the grammar template *intended*; and
+* how close did the scale-model prediction land — an IPC profile at the
+  small ``scales`` predicting the ``target`` size, scored against the
+  detailed simulation at that size.
+
+The answers are distilled into a schema-versioned artifact: per-measured-
+regime MAPE, an intended-versus-measured confusion matrix, coverage
+stats over regimes and generator families, and enough payload per
+workload to re-realize it bit for bit.  Per-spec failures are recorded
+as casualties, not fatal — a generated corpus is allowed to contain a
+workload the engine rejects, and the artifact says so.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.classify import classify_scaling
+from repro.analysis.parallel import RunRequest
+from repro.analysis.runner import CachedRunner
+from repro.core import ScaleModelPredictor, ScaleModelProfile
+from repro.exceptions import ReproError, WorkloadError
+from repro.zoo.grammar import GeneratedSpec
+from repro.zoo.sample import REGIMES, sample_batch
+
+__all__ = [
+    "ZOO_ARTIFACT_KIND",
+    "ZOO_SCHEMA_VERSION",
+    "CampaignPlan",
+    "run_campaign",
+    "validate_campaign_artifact",
+    "zoo_bench_block",
+]
+
+ZOO_SCHEMA_VERSION = 1
+ZOO_ARTIFACT_KIND = "repro-zoo-campaign"
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What to generate and where to sweep it.
+
+    ``scales`` are the sizes the scale model profiles at; ``target`` is
+    the size it predicts (and the detailed engine verifies).  The
+    measured regime is classified over the full ``sizes`` profile.
+    """
+
+    n: int = 12
+    seed: int = 0
+    scales: Tuple[int, ...] = (8, 16)
+    target: int = 32
+    work_scale: float = 1.0
+    sample_scale: float = 1.0
+    regimes: Tuple[str, ...] = REGIMES
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise WorkloadError(f"plan.n: must be >= 1, got {self.n}")
+        if len(self.scales) < 2:
+            raise WorkloadError(
+                f"plan.scales: need >= 2 profile sizes, got {list(self.scales)}"
+            )
+        if any(s < 1 for s in self.scales) or self.target < 1:
+            raise WorkloadError("plan sizes must be positive SM counts")
+        if self.target in self.scales:
+            raise WorkloadError(
+                f"plan.target: {self.target} already in scales "
+                f"{list(self.scales)} — nothing to predict"
+            )
+        if self.work_scale <= 0:
+            raise WorkloadError(
+                f"plan.work_scale: must be positive, got {self.work_scale}"
+            )
+
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """All sizes swept, ascending."""
+        return tuple(sorted((*self.scales, self.target)))
+
+
+def _requests(
+    plan: CampaignPlan, specs: Sequence[GeneratedSpec]
+) -> List[RunRequest]:
+    requests = [
+        RunRequest(
+            "sim", spec, size=size, work_scale=plan.work_scale, seed=plan.seed
+        )
+        for spec in specs
+        for size in plan.sizes
+    ]
+    requests += [
+        RunRequest("mrc", spec, work_scale=plan.work_scale, seed=plan.seed)
+        for spec in specs
+    ]
+    return requests
+
+
+def _measure(
+    plan: CampaignPlan, runner: CachedRunner, spec: GeneratedSpec
+) -> dict:
+    """Sweep, classify and score one generated workload."""
+    sims = {
+        size: runner.simulate(
+            spec, size, work_scale=plan.work_scale, seed=plan.seed
+        )
+        for size in plan.sizes
+    }
+    measured = classify_scaling(
+        [sims[size].ipc for size in plan.sizes], plan.sizes
+    ).value
+    profile = ScaleModelProfile(
+        workload=spec.abbr,
+        sizes=tuple(plan.scales),
+        ipcs=tuple(sims[size].ipc for size in plan.scales),
+        f_mem=sims[max(plan.scales)].memory_stall_fraction,
+        curve=runner.miss_rate_curve(
+            spec, work_scale=plan.work_scale, seed=plan.seed
+        ),
+    )
+    predicted = ScaleModelPredictor(profile).predict(plan.target).ipc
+    actual = sims[plan.target].ipc
+    return {
+        "abbr": spec.abbr,
+        "digest": spec.digest,
+        "intent": spec.intent,
+        "measured": measured,
+        "families": sorted({phase.family for phase in spec.phases}),
+        "phases": len(spec.phases),
+        "ipcs": {str(size): sims[size].ipc for size in plan.sizes},
+        "predicted_ipc": predicted,
+        "actual_ipc": actual,
+        "ape_pct": 100.0 * abs(predicted - actual) / actual,
+        "payload": spec.payload(),
+    }
+
+
+def _regime_stats(records: Sequence[dict]) -> Dict[str, dict]:
+    apes: Dict[str, List[float]] = {}
+    for record in records:
+        apes.setdefault(record["measured"], []).append(record["ape_pct"])
+    return {
+        regime: {
+            "mape_pct": sum(values) / len(values),
+            "max_ape_pct": max(values),
+            "count": len(values),
+        }
+        for regime, values in sorted(apes.items())
+    }
+
+
+def _confusion(records: Sequence[dict]) -> Dict[str, Dict[str, int]]:
+    """Intended-versus-measured counts, every regime key present."""
+    matrix = {
+        intended: {measured: 0 for measured in REGIMES} for intended in REGIMES
+    }
+    for record in records:
+        matrix[record["intent"]][record["measured"]] += 1
+    return matrix
+
+
+def _coverage(
+    specs: Sequence[GeneratedSpec], records: Sequence[dict]
+) -> dict:
+    intended: Dict[str, int] = {regime: 0 for regime in REGIMES}
+    measured: Dict[str, int] = {regime: 0 for regime in REGIMES}
+    families: Dict[str, int] = {}
+    for spec in specs:
+        intended[spec.intent] += 1
+        for phase in spec.phases:
+            families[phase.family] = families.get(phase.family, 0) + 1
+    for record in records:
+        measured[record["measured"]] += 1
+    return {
+        "intended": intended,
+        "measured": measured,
+        "families": dict(sorted(families.items())),
+        "multi_phase": sum(1 for spec in specs if len(spec.phases) > 1),
+    }
+
+
+def run_campaign(
+    plan: CampaignPlan,
+    runner: CachedRunner,
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Execute ``plan`` through ``runner``; return the campaign artifact.
+
+    Raises :class:`~repro.exceptions.ReproError` only when *no* workload
+    survives — individual failures are recorded in the artifact's
+    ``failures`` list and excluded from the accuracy statistics.
+    """
+    say = log or (lambda message: None)
+    specs = sample_batch(
+        plan.n, plan.seed, regimes=plan.regimes, scale=plan.sample_scale
+    )
+    say(
+        f"zoo campaign: {len(specs)} generated workloads x sizes "
+        f"{list(plan.sizes)} (seed {plan.seed})"
+    )
+    start = time.perf_counter()
+    requests = _requests(plan, specs)
+    runner.prefetch(requests)
+    records: List[dict] = []
+    failures: List[dict] = []
+    for spec in specs:
+        try:
+            record = _measure(plan, runner, spec)
+        except ReproError as error:
+            failures.append(
+                {"abbr": spec.abbr, "intent": spec.intent, "error": str(error)}
+            )
+            say(f"  {spec.abbr} [{spec.intent}] FAILED: {error}")
+            continue
+        records.append(record)
+        say(
+            f"  {record['abbr']} intent={record['intent']} "
+            f"measured={record['measured']} ape={record['ape_pct']:.2f}%"
+        )
+    runner.flush()
+    wall = time.perf_counter() - start
+    if not records:
+        raise ReproError(
+            f"zoo campaign produced no usable workloads "
+            f"({len(failures)} failures)"
+        )
+    matches = sum(1 for r in records if r["intent"] == r["measured"])
+    apes = [r["ape_pct"] for r in records]
+    return {
+        "schema_version": ZOO_SCHEMA_VERSION,
+        "kind": ZOO_ARTIFACT_KIND,
+        "created_unix": time.time(),
+        "plan": {
+            "n": plan.n,
+            "seed": plan.seed,
+            "scales": list(plan.scales),
+            "target": plan.target,
+            "work_scale": plan.work_scale,
+            "sample_scale": plan.sample_scale,
+            "regimes": list(plan.regimes),
+        },
+        "workloads": records,
+        "failures": failures,
+        "regimes": _regime_stats(records),
+        "confusion": _confusion(records),
+        "coverage": _coverage(specs, records),
+        "accuracy": {
+            "mape_pct": sum(apes) / len(apes),
+            "max_ape_pct": max(apes),
+            "regime_match_rate": matches / len(records),
+            "count": len(records),
+        },
+        "campaign": {
+            "wall_s": wall,
+            "runs": len(requests),
+            "workloads": len(specs),
+            "failed": len(failures),
+            "workloads_per_sec": len(records) / wall if wall > 0 else 0.0,
+        },
+    }
+
+
+# --------------------------------------------------------------------------
+# Validation and the bench bridge
+# --------------------------------------------------------------------------
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_numbers(
+    problems: List[str], where: str, block: Mapping, required: Sequence[str]
+) -> None:
+    for key in required:
+        if key not in block:
+            problems.append(f"{where}: missing {key!r}")
+        elif not _is_number(block[key]):
+            problems.append(f"{where}.{key}: expected a number")
+
+
+_RECORD_NUMBERS = ("predicted_ipc", "actual_ipc", "ape_pct")
+_RECORD_STRINGS = ("abbr", "digest", "intent", "measured")
+
+
+def validate_campaign_artifact(document: object) -> List[str]:
+    """Structural validation; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["artifact: expected a JSON object"]
+    if document.get("kind") != ZOO_ARTIFACT_KIND:
+        problems.append(
+            f"kind: expected {ZOO_ARTIFACT_KIND!r}, got {document.get('kind')!r}"
+        )
+    if document.get("schema_version") != ZOO_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version: expected {ZOO_SCHEMA_VERSION}, "
+            f"got {document.get('schema_version')!r}"
+        )
+    plan = document.get("plan")
+    if not isinstance(plan, dict):
+        problems.append("plan: missing or not an object")
+    else:
+        _check_numbers(problems, "plan", plan, ("n", "seed", "target"))
+        if not isinstance(plan.get("scales"), list) or not plan.get("scales"):
+            problems.append("plan.scales: expected a non-empty list")
+
+    workloads = document.get("workloads")
+    if not isinstance(workloads, list) or not workloads:
+        problems.append("workloads: expected a non-empty list")
+        workloads = []
+    for i, record in enumerate(workloads):
+        where = f"workloads[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where}: expected an object")
+            continue
+        for key in _RECORD_STRINGS:
+            if not isinstance(record.get(key), str) or not record.get(key):
+                problems.append(f"{where}.{key}: expected a non-empty string")
+        _check_numbers(problems, where, record, _RECORD_NUMBERS)
+        if record.get("intent") not in REGIMES:
+            problems.append(f"{where}.intent: unknown regime")
+        if record.get("measured") not in REGIMES:
+            problems.append(f"{where}.measured: unknown regime")
+        if not isinstance(record.get("payload"), dict):
+            problems.append(f"{where}.payload: expected an object")
+
+    regimes = document.get("regimes")
+    if not isinstance(regimes, dict) or not regimes:
+        problems.append("regimes: expected a non-empty object")
+    else:
+        for regime, block in regimes.items():
+            if regime not in REGIMES:
+                problems.append(f"regimes.{regime}: unknown regime")
+            if not isinstance(block, dict):
+                problems.append(f"regimes.{regime}: expected an object")
+                continue
+            _check_numbers(
+                problems,
+                f"regimes.{regime}",
+                block,
+                ("mape_pct", "max_ape_pct", "count"),
+            )
+
+    confusion = document.get("confusion")
+    if not isinstance(confusion, dict):
+        problems.append("confusion: missing or not an object")
+    else:
+        total = 0
+        for intended in REGIMES:
+            row = confusion.get(intended)
+            if not isinstance(row, dict):
+                problems.append(f"confusion.{intended}: missing row")
+                continue
+            for measured in REGIMES:
+                cell = row.get(measured)
+                if not isinstance(cell, int) or isinstance(cell, bool):
+                    problems.append(
+                        f"confusion.{intended}.{measured}: expected an int"
+                    )
+                else:
+                    total += cell
+        if workloads and not problems and total != len(workloads):
+            problems.append(
+                f"confusion: counts sum to {total}, "
+                f"expected {len(workloads)} workloads"
+            )
+
+    for name, keys in (
+        (
+            "accuracy",
+            ("mape_pct", "max_ape_pct", "regime_match_rate", "count"),
+        ),
+        ("campaign", ("wall_s", "runs", "workloads", "workloads_per_sec")),
+    ):
+        block = document.get(name)
+        if not isinstance(block, dict):
+            problems.append(f"{name}: missing or not an object")
+        else:
+            _check_numbers(problems, name, block, keys)
+
+    coverage = document.get("coverage")
+    if not isinstance(coverage, dict):
+        problems.append("coverage: missing or not an object")
+    else:
+        for key in ("intended", "measured", "families"):
+            if not isinstance(coverage.get(key), dict):
+                problems.append(f"coverage.{key}: expected an object")
+    return problems
+
+
+def zoo_bench_block(artifact: Mapping) -> dict:
+    """Distill a campaign artifact into the bench ``zoo`` family block."""
+    problems = validate_campaign_artifact(dict(artifact))
+    if problems:
+        raise ReproError(
+            "cannot bridge an invalid zoo artifact: " + "; ".join(problems[:3])
+        )
+    accuracy = artifact["accuracy"]
+    campaign = artifact["campaign"]
+    return {
+        "workloads": campaign["workloads"],
+        "runs": campaign["runs"],
+        "campaign_wall_s": campaign["wall_s"],
+        "workloads_per_sec": campaign["workloads_per_sec"],
+        "regime_match_rate": accuracy["regime_match_rate"],
+        "mape_pct": accuracy["mape_pct"],
+        "per_regime": {
+            regime: {"mape_pct": block["mape_pct"], "count": block["count"]}
+            for regime, block in artifact["regimes"].items()
+        },
+    }

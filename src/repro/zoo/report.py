@@ -1,0 +1,101 @@
+"""Render a zoo campaign artifact in the :mod:`repro.analysis` style.
+
+One string, ready for a terminal or a CI log: a summary header, the
+per-measured-regime accuracy table, the intended-versus-measured
+confusion matrix, the worst-predicted workloads, and an ASCII plot of
+the sorted absolute-percentage-error distribution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from repro.analysis.ascii_plot import plot_series
+from repro.analysis.tables import render_table
+from repro.exceptions import ReproError
+from repro.zoo.campaign import validate_campaign_artifact
+from repro.zoo.sample import REGIMES
+
+__all__ = ["render_campaign"]
+
+#: Workloads listed in the worst-offender table.
+_WORST = 5
+
+
+def render_campaign(artifact: Mapping) -> str:
+    """Render a campaign artifact; raises on an invalid document."""
+    problems = validate_campaign_artifact(dict(artifact))
+    if problems:
+        raise ReproError(
+            "cannot render an invalid zoo artifact: " + "; ".join(problems[:3])
+        )
+    accuracy = artifact["accuracy"]
+    campaign = artifact["campaign"]
+    plan = artifact["plan"]
+    parts: List[str] = []
+
+    parts.append(
+        f"zoo campaign — seed {plan['seed']}, "
+        f"{campaign['workloads']} generated workloads "
+        f"({campaign.get('failed', 0)} failed), sizes "
+        f"{plan['scales']} -> {plan['target']}"
+    )
+    parts.append(
+        f"overall MAPE {accuracy['mape_pct']:.2f}% "
+        f"(max {accuracy['max_ape_pct']:.2f}%), regime match "
+        f"{100.0 * accuracy['regime_match_rate']:.0f}% "
+        f"over {accuracy['count']} workloads, "
+        f"{campaign['wall_s']:.1f}s wall"
+    )
+
+    parts.append(render_table(
+        ["measured regime", "MAPE %", "max APE %", "n"],
+        [
+            [
+                regime,
+                f"{block['mape_pct']:.2f}",
+                f"{block['max_ape_pct']:.2f}",
+                block["count"],
+            ]
+            for regime, block in artifact["regimes"].items()
+        ],
+        title="Prediction accuracy by measured regime",
+    ))
+
+    confusion = artifact["confusion"]
+    parts.append(render_table(
+        ["intended \\ measured", *REGIMES],
+        [
+            [intended, *(confusion[intended][m] for m in REGIMES)]
+            for intended in REGIMES
+        ],
+        title="Regime confusion (rows: intended, columns: measured)",
+    ))
+
+    records = sorted(
+        artifact["workloads"], key=lambda r: r["ape_pct"], reverse=True
+    )
+    parts.append(render_table(
+        ["workload", "intent", "measured", "APE %", "families"],
+        [
+            [
+                record["abbr"],
+                record["intent"],
+                record["measured"],
+                f"{record['ape_pct']:.2f}",
+                ",".join(record.get("families", [])),
+            ]
+            for record in records[:_WORST]
+        ],
+        title=f"Worst-predicted workloads (top {min(_WORST, len(records))})",
+    ))
+
+    apes = sorted(record["ape_pct"] for record in artifact["workloads"])
+    if len(apes) >= 2:
+        parts.append(plot_series(
+            list(range(1, len(apes) + 1)),
+            {"ape_pct": apes},
+            title="APE distribution (workloads sorted by error)",
+            x_label="workload rank",
+        ))
+    return "\n\n".join(parts) + "\n"

@@ -42,12 +42,35 @@ class TestClassify:
             is ScalingBehavior.SUPER_LINEAR
         )
 
+    def test_unsorted_sizes_sort_jointly_with_ipcs(self):
+        # Caller order must not change the classification: the profile
+        # is sorted by size with IPCs carried along.
+        sizes = [32, 8, 128, 16, 64]
+        ipcs = [380, 100, 2200, 195, 740]
+        assert classify_scaling(ipcs, sizes) is ScalingBehavior.SUPER_LINEAR
+        assert (
+            classify_scaling([2.0, 1.0], [16, 8])
+            is classify_scaling([1.0, 2.0], [8, 16])
+        )
+
+    def test_reversed_profile_is_not_misread_as_decay(self):
+        # Descending caller order used to flip every doubling ratio.
+        ipcs = [100 * s / 8 for s in SIZES]
+        assert (
+            classify_scaling(list(reversed(ipcs)), list(reversed(SIZES)))
+            is ScalingBehavior.LINEAR
+        )
+
+    def test_duplicate_sizes_rejected(self):
+        with pytest.raises(PredictionError, match="duplicate sizes"):
+            classify_scaling([1.0, 2.0, 3.0], [8, 8, 16])
+
     def test_validation(self):
         with pytest.raises(PredictionError):
             classify_scaling([1.0], [8])
         with pytest.raises(PredictionError):
-            classify_scaling([1.0, 2.0], [16, 8])
-        with pytest.raises(PredictionError):
             classify_scaling([1.0, 0.0], [8, 16])
         with pytest.raises(PredictionError):
             classify_scaling([1.0, 2.0, 3.0], [8, 16])
+        with pytest.raises(PredictionError):
+            classify_scaling([1.0, 2.0], [0, 16])

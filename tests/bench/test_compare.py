@@ -182,6 +182,65 @@ class TestServiceFamily:
         assert [r.metric for r in regressions] == ["p50_ms"]
 
 
+class TestZooFamily:
+    """The zoo block gates only when the baseline carries it."""
+
+    @staticmethod
+    def with_zoo(**overrides):
+        from tests.bench.test_schema import make_zoo_block
+
+        return make_artifact(zoo=make_zoo_block(**overrides))
+
+    def test_absent_in_baseline_never_gates(self):
+        assert compare_artifacts(make_artifact(), self.with_zoo()) == []
+
+    def test_identical_zoo_blocks_pass(self):
+        assert compare_artifacts(self.with_zoo(), self.with_zoo()) == []
+
+    def test_lost_zoo_block_is_a_regression(self):
+        regressions = compare_artifacts(self.with_zoo(), make_artifact())
+        assert [r.family for r in regressions] == ["zoo"]
+        assert "missing" in regressions[0].metric
+
+    def test_mape_growth_beyond_tolerance_fails(self):
+        # Default zoo tolerance is +5pp.
+        regressions = compare_artifacts(
+            self.with_zoo(), self.with_zoo(mape_pct=41.0 + 6.0)
+        )
+        assert [r.metric for r in regressions] == ["mape_pct"]
+        assert compare_artifacts(
+            self.with_zoo(), self.with_zoo(mape_pct=41.0 + 4.0)
+        ) == []
+
+    def test_match_rate_collapse_fails_but_small_dip_passes(self):
+        assert compare_artifacts(
+            self.with_zoo(), self.with_zoo(regime_match_rate=0.75)
+        ) == []
+        regressions = compare_artifacts(
+            self.with_zoo(), self.with_zoo(regime_match_rate=0.5)
+        )
+        assert [r.metric for r in regressions] == ["regime_match_rate"]
+
+    def test_campaign_walltime_blowup_fails(self):
+        regressions = compare_artifacts(
+            self.with_zoo(), self.with_zoo(campaign_wall_s=19.0 * 3.0)
+        )
+        assert [r.metric for r in regressions] == ["campaign_wall_s"]
+
+    def test_workload_throughput_collapse_fails(self):
+        regressions = compare_artifacts(
+            self.with_zoo(), self.with_zoo(workloads_per_sec=0.32 * 0.25)
+        )
+        assert [r.metric for r in regressions] == ["workloads_per_sec"]
+
+    def test_thresholds_are_knobs(self):
+        tight = Thresholds(zoo_match_pts=0.01)
+        regressions = compare_artifacts(
+            self.with_zoo(), self.with_zoo(regime_match_rate=0.78), tight
+        )
+        assert [r.metric for r in regressions] == ["regime_match_rate"]
+
+
 class TestCompareErrors:
     def test_rejects_invalid_baseline(self):
         with pytest.raises(ValueError):

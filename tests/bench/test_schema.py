@@ -107,6 +107,57 @@ class TestServiceBlock:
         assert any("service.p50_ms" in p for p in problems)
 
 
+def make_zoo_block(**overrides):
+    block = {
+        "workloads": 6,
+        "runs": 24,
+        "campaign_wall_s": 19.0,
+        "workloads_per_sec": 0.32,
+        "regime_match_rate": 0.83,
+        "mape_pct": 41.0,
+        "per_regime": {
+            "linear": {"mape_pct": 7.6, "count": 2},
+            "sub-linear": {"mape_pct": 17.1, "count": 2},
+            "super-linear": {"mape_pct": 171.6, "count": 2},
+        },
+    }
+    block.update(overrides)
+    return block
+
+
+class TestZooBlock:
+    def test_zoo_block_is_optional(self):
+        assert validate_artifact(make_artifact()) == []
+
+    def test_valid_zoo_block_accepted(self):
+        document = make_artifact(zoo=make_zoo_block())
+        assert validate_artifact(document) == []
+
+    def test_missing_zoo_metric_rejected(self):
+        block = make_zoo_block()
+        del block["mape_pct"]
+        problems = validate_artifact(make_artifact(zoo=block))
+        assert any("zoo" in p and "mape_pct" in p for p in problems)
+
+    def test_match_rate_must_be_a_fraction(self):
+        document = make_artifact(zoo=make_zoo_block(regime_match_rate=6.0))
+        problems = validate_artifact(document)
+        assert any("regime_match_rate" in p and "fraction" in p
+                   for p in problems)
+
+    def test_empty_per_regime_rejected(self):
+        document = make_artifact(zoo=make_zoo_block(per_regime={}))
+        problems = validate_artifact(document)
+        assert any("per_regime" in p for p in problems)
+
+    def test_per_regime_missing_count_rejected(self):
+        block = make_zoo_block()
+        del block["per_regime"]["linear"]["count"]
+        problems = validate_artifact(make_artifact(zoo=block))
+        assert any("per_regime.linear" in p and "count" in p
+                   for p in problems)
+
+
 class TestInvalidArtifacts:
     def test_non_object_rejected(self):
         assert validate_artifact([1, 2]) != []

@@ -1,0 +1,65 @@
+"""Sampler: stratification, determinism, validation."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.zoo import REGIMES, sample_batch, sample_spec
+
+
+class TestSampleSpec:
+    def test_intent_matches_requested_regime(self):
+        for regime in REGIMES:
+            assert sample_spec(regime, seed=3).intent == regime
+
+    def test_deterministic_across_calls(self):
+        a = sample_spec("linear", seed=5, index=2)
+        b = sample_spec("linear", seed=5, index=2)
+        assert a == b
+        assert a.digest == b.digest
+
+    def test_seed_and_index_vary_the_draw(self):
+        base = sample_spec("sub-linear", seed=5, index=0)
+        assert sample_spec("sub-linear", seed=6, index=0).digest != base.digest
+        assert sample_spec("sub-linear", seed=5, index=1).digest != base.digest
+
+    def test_scale_rescales_ctas_only(self):
+        big = sample_spec("linear", seed=4, scale=4.0)
+        small = sample_spec("linear", seed=4, scale=1.0)
+        assert big.kernels[0].num_ctas > small.kernels[0].num_ctas
+        assert big.grammar == small.grammar
+
+    def test_unknown_regime_rejected(self):
+        with pytest.raises(WorkloadError, match="regime"):
+            sample_spec("quadratic", seed=0)
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(WorkloadError, match="scale"):
+            sample_spec("linear", seed=0, scale=0.0)
+
+
+class TestSampleBatch:
+    def test_exact_stratification(self):
+        batch = sample_batch(12, seed=9)
+        for regime in REGIMES:
+            assert sum(1 for s in batch if s.intent == regime) == 4
+
+    def test_remainder_goes_to_earlier_regimes(self):
+        batch = sample_batch(4, seed=9)
+        assert [s.intent for s in batch] == [
+            REGIMES[0], REGIMES[1], REGIMES[2], REGIMES[0],
+        ]
+
+    def test_batch_digests_are_reproducible(self):
+        first = [s.digest for s in sample_batch(9, seed=7)]
+        second = [s.digest for s in sample_batch(9, seed=7)]
+        assert first == second
+
+    def test_batch_digests_are_distinct(self):
+        digests = [s.digest for s in sample_batch(12, seed=9)]
+        assert len(set(digests)) == len(digests)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError, match="n:"):
+            sample_batch(0, seed=1)
+        with pytest.raises(WorkloadError, match="regimes"):
+            sample_batch(3, seed=1, regimes=())

@@ -12,7 +12,15 @@ Usage:
   python scripts/bench.py --quick --compare BENCH_6.json   # trajectory gate
   python scripts/bench.py --validate-only BENCH_6.json     # schema check only
 
-Exit codes: 0 ok, 1 regression beyond tolerance, 2 schema-invalid artifact.
+With ``--journal-dir`` (plus a persistent ``--cache-dir``) the campaign
+is journaled through :mod:`repro.campaign`: a crash, drain, or
+``--max-wall``/``--max-workloads`` budget stop never discards completed
+cases, and rerunning the same command resumes where it died.
+
+Exit codes: 0 ok, 1 regression beyond tolerance, 2 schema-invalid
+artifact or operator error, 75 interrupted/budget-stopped but resumable
+(rerun the same command to continue), 128+signum on a second, forcing
+signal.
 """
 
 from __future__ import annotations
@@ -23,17 +31,30 @@ import os
 import shutil
 import sys
 import tempfile
+import time
 
 from repro.bench import (
+    ARTIFACT_KIND,
     Thresholds,
     compare_artifacts,
     matrix_for_tier,
+    matrix_plan_payload,
     validate_artifact,
 )
 from repro.bench.harness import run_bench
+from repro.campaign import CampaignBudget, CampaignJournal
+from repro.exceptions import (
+    CampaignError,
+    CampaignIncomplete,
+    ShutdownRequested,
+)
 from repro.fsio import atomic_write_text
 from repro.obs import bootstrap, install
-from repro.resilience import apply_memory_limit, install_shutdown_handlers
+from repro.resilience import (
+    EXIT_INTERRUPTED,
+    apply_memory_limit,
+    install_shutdown_handlers,
+)
 from repro.verify.runtime import arm_from_flag
 
 EXIT_OK = 0
@@ -102,6 +123,22 @@ def main(argv=None) -> int:
                         help="cold-campaign cache directory (default: a "
                              "fresh temp dir, removed afterwards; must not "
                              "hold prior results)")
+    parser.add_argument("--journal-dir", default=None,
+                        help="campaign journal root; enables crash-safe "
+                             "resume of the bench campaign (requires a "
+                             "persistent --cache-dir)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="discard any existing journal for this matrix "
+                             "and start the campaign from scratch")
+    parser.add_argument("--max-wall", type=float, default=None, metavar="S",
+                        help="wall-clock budget in seconds; on expiry the "
+                             "campaign stops at a case boundary with a "
+                             "resumable partial artifact (exit 75)")
+    parser.add_argument("--max-workloads", type=int, default=None,
+                        metavar="K",
+                        help="cap on total completed bench cases (journal-"
+                             "reused ones included); exceeding it stops "
+                             "with a resumable partial artifact (exit 75)")
     parser.add_argument("--tol-throughput", type=float, default=None,
                         help="allowed fractional throughput loss "
                              "(default 0.5)")
@@ -146,12 +183,52 @@ def main(argv=None) -> int:
     matrix = matrix_for_tier("full" if args.full else "quick")
     cache_dir = args.cache_dir
     temp_cache = cache_dir is None
+
+    journal = None
+    if args.journal_dir is not None:
+        if temp_cache:
+            print(
+                "--journal-dir requires a persistent --cache-dir: the "
+                "journal seals which cases completed, the cache holds "
+                "their results",
+                file=sys.stderr,
+            )
+            return EXIT_INVALID
+        plan = matrix_plan_payload(matrix)
+        if args.no_resume:
+            if CampaignJournal.discard(args.journal_dir, ARTIFACT_KIND, plan):
+                print("discarded existing journal for this matrix")
+        try:
+            journal = CampaignJournal.open(
+                args.journal_dir, ARTIFACT_KIND, plan,
+                created_unix=time.time(),
+            )
+        except CampaignError as error:
+            print(f"journal error: {error}", file=sys.stderr)
+            return EXIT_INVALID
+        if journal.completed:
+            print(
+                f"journal {journal.digest}: {len(journal.completed)} "
+                "case(s) already sealed"
+            )
+    budget = CampaignBudget(
+        max_wall_s=args.max_wall, max_workloads=args.max_workloads
+    )
+
     if temp_cache:
         cache_dir = tempfile.mkdtemp(prefix="repro-bench-")
     try:
-        document = run_bench(
-            matrix, os.path.join(cache_dir, "simcache"), jobs=args.jobs
-        )
+        try:
+            document = run_bench(
+                matrix, os.path.join(cache_dir, "simcache"), jobs=args.jobs,
+                journal=journal, budget=budget,
+            )
+        except CampaignIncomplete as error:
+            print(f"bench campaign interrupted: {error}", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        except ShutdownRequested as error:
+            print(f"bench campaign drained: {error}", file=sys.stderr)
+            return EXIT_INTERRUPTED
     finally:
         if temp_cache:
             shutil.rmtree(cache_dir, ignore_errors=True)
@@ -167,6 +244,21 @@ def main(argv=None) -> int:
     print(f"wrote {args.out} ({matrix.tier} tier, {matrix.run_count} runs)")
     _report(document)
     obs.finalize()
+
+    partial = document.get("partial")
+    if partial:
+        print(
+            f"PARTIAL artifact ({partial['reason']}): "
+            f"{partial['completed']} of {partial['planned']} cases "
+            "completed; rerun the same command to resume",
+            file=sys.stderr,
+        )
+        if args.compare:
+            print(
+                "skipping --compare: partial artifacts do not gate",
+                file=sys.stderr,
+            )
+        return EXIT_INTERRUPTED
 
     if args.compare:
         baseline = _load_artifact(args.compare)

@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""Campaign-resilience chaos harness: kill the driver, prove nothing is lost.
+
+Drives the *real* ``scripts/zoo_campaign.py`` as a subprocess through
+the failure modes long sweeps actually die from, and asserts the
+:mod:`repro.campaign` contract after each one:
+
+* **kill -9 at seeded points** — ``REPRO_CAMPAIGN_KILL_AFTER=<k>``
+  SIGKILLs the driver the instant its *k*-th workload record becomes
+  durable.  The journal must attach cleanly (sealed header intact,
+  exactly ``k`` units, zero corrupt lines), and re-invoking the same
+  plan must re-simulate **zero** completed workloads and converge to an
+  artifact bit-identical (wall-time fields scrubbed) to an
+  uninterrupted reference run.
+* **torn trailing line** — garbage appended to the journal (a crash
+  mid-append) must cost nothing: resume skips the torn line and still
+  converges.
+* **SIGTERM drain** — a mid-campaign SIGTERM must exit 75 and leave a
+  schema-valid artifact with a ``partial`` block; resume converges.
+* **workload budget** — ``--max-workloads`` must stop at exit 75 with a
+  schema-valid partial artifact whose confusion-matrix cells sum to the
+  completed count; resume converges.
+
+Usage:
+  PYTHONPATH=src python scripts/campaign_chaos.py --quick   # CI smoke
+  PYTHONPATH=src python scripts/campaign_chaos.py           # full sweep
+
+Exit codes: 0 all trials passed, 1 contract violation, 2 harness error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.campaign import CampaignJournal, first_artifact_divergence
+from repro.exceptions import CampaignError
+from repro.zoo import CampaignPlan, plan_payload, validate_campaign_artifact
+from repro.zoo.campaign import ZOO_ARTIFACT_KIND
+
+_DRIVER = os.path.join(os.path.dirname(__file__), "zoo_campaign.py")
+
+#: Chaos plan: small enough that every trial re-runs in seconds, large
+#: enough that every kill point leaves both sealed and unsealed units.
+_N = 4
+_SEED = 9
+_WORK_SCALE = 0.25
+
+EXIT_INTERRUPTED = 75
+
+
+class ContractViolation(AssertionError):
+    pass
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ContractViolation(message)
+
+
+def _plan() -> CampaignPlan:
+    return CampaignPlan(n=_N, seed=_SEED, work_scale=_WORK_SCALE)
+
+
+def _command(journal_dir: str, out: str, extra=()) -> list:
+    return [
+        sys.executable, "-u", _DRIVER,
+        "--n", str(_N), "--seed", str(_SEED),
+        "--work-scale", str(_WORK_SCALE),
+        "--jobs", "1",
+        "--journal-dir", journal_dir,
+        "--out", out,
+        *extra,
+    ]
+
+
+def _run(command, env_extra=None, timeout=600):
+    env = dict(os.environ)
+    env.setdefault(
+        "PYTHONPATH",
+        os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"),
+    )
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        command, env=env, timeout=timeout,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+
+
+def _executed_workloads(output: str) -> int:
+    """Workloads this invocation actually simulated (not journal-reused):
+    one progress line per measured or failed spec."""
+    return sum(
+        1
+        for line in output.splitlines()
+        if line.startswith("  z") and ("measured=" in line or "FAILED" in line)
+    )
+
+
+def _attach_journal(journal_dir: str) -> CampaignJournal:
+    return CampaignJournal.open(
+        journal_dir, ZOO_ARTIFACT_KIND, plan_payload(_plan()),
+        created_unix=time.time(),
+    )
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _require_valid(path: str) -> dict:
+    document = _load(path)
+    problems = validate_campaign_artifact(document)
+    _require(not problems, f"{path} is not schema-valid: {problems[:3]}")
+    return document
+
+
+def _require_converged(path: str, reference: dict, what: str) -> None:
+    divergence = first_artifact_divergence(_load(path), reference)
+    _require(
+        divergence is None,
+        f"{what}: resumed artifact diverged from the uninterrupted "
+        f"reference — {divergence.describe() if divergence else ''}",
+    )
+
+
+def _reference(workdir: str) -> dict:
+    """The uninterrupted run every chaos trial must converge to."""
+    out = os.path.join(workdir, "REFERENCE.json")
+    result = _run(_command(os.path.join(workdir, "ref-journal"), out))
+    _require(
+        result.returncode == 0,
+        f"reference run failed (exit {result.returncode}):\n{result.stdout}",
+    )
+    return _require_valid(out)
+
+
+def _trial_kill(workdir: str, reference: dict, kill_after: int) -> None:
+    """kill -9 after the kill_after-th durable journal append, resume."""
+    journal_dir = os.path.join(workdir, f"kill{kill_after}-journal")
+    out = os.path.join(workdir, f"KILL{kill_after}.json")
+    killed = _run(
+        _command(journal_dir, out),
+        env_extra={"REPRO_CAMPAIGN_KILL_AFTER": str(kill_after)},
+    )
+    _require(
+        killed.returncode == -signal.SIGKILL,
+        f"kill@{kill_after}: expected SIGKILL death, got exit "
+        f"{killed.returncode}:\n{killed.stdout}",
+    )
+    _require(not os.path.exists(out), f"kill@{kill_after}: artifact written "
+             "by a killed campaign")
+
+    # Journal integrity: sealed header attaches, exactly kill_after units
+    # are sealed, nothing corrupt.
+    journal = _attach_journal(journal_dir)
+    _require(
+        len(journal.completed) == kill_after,
+        f"kill@{kill_after}: journal holds {len(journal.completed)} sealed "
+        f"units, expected {kill_after}",
+    )
+    _require(
+        journal.corrupt_lines == 0,
+        f"kill@{kill_after}: journal has {journal.corrupt_lines} corrupt "
+        "lines after a post-append kill",
+    )
+
+    resumed = _run(_command(journal_dir, out))
+    _require(
+        resumed.returncode == 0,
+        f"kill@{kill_after}: resume failed (exit {resumed.returncode}):\n"
+        f"{resumed.stdout}",
+    )
+    reused = f"resume: reused {kill_after} of {_N} workload(s)"
+    _require(
+        reused in resumed.stdout,
+        f"kill@{kill_after}: resume did not report '{reused}'",
+    )
+    executed = _executed_workloads(resumed.stdout)
+    _require(
+        executed == _N - kill_after,
+        f"kill@{kill_after}: resume re-simulated completed work — "
+        f"executed {executed} workloads, expected {_N - kill_after}",
+    )
+    _require_valid(out)
+    _require_converged(out, reference, f"kill@{kill_after}")
+    print(f"  kill@{kill_after}: journal intact, {kill_after} reused, "
+          f"{executed} executed, artifact converged")
+
+
+def _trial_torn_line(workdir: str, reference: dict) -> None:
+    """A crash mid-append tears the trailing line; resume shrugs it off."""
+    journal_dir = os.path.join(workdir, "torn-journal")
+    out = os.path.join(workdir, "TORN.json")
+    killed = _run(
+        _command(journal_dir, out),
+        env_extra={"REPRO_CAMPAIGN_KILL_AFTER": "2"},
+    )
+    _require(
+        killed.returncode == -signal.SIGKILL,
+        f"torn: setup kill failed (exit {killed.returncode})",
+    )
+    journal = _attach_journal(journal_dir)
+    with open(journal.path, "a") as handle:
+        handle.write('{"type": "workload", "unit": "zdeadbeef", "status"')
+    resumed = _run(_command(journal_dir, out))
+    _require(
+        resumed.returncode == 0,
+        f"torn: resume failed (exit {resumed.returncode}):\n{resumed.stdout}",
+    )
+    _require(
+        _executed_workloads(resumed.stdout) == _N - 2,
+        "torn: torn trailing line cost sealed workloads",
+    )
+    _require_valid(out)
+    _require_converged(out, reference, "torn")
+    print("  torn trailing line: skipped cleanly, artifact converged")
+
+
+def _trial_sigterm(workdir: str, reference: dict) -> None:
+    """SIGTERM mid-campaign: exit 75, schema-valid partial artifact."""
+    journal_dir = os.path.join(workdir, "sigterm-journal")
+    out = os.path.join(workdir, "SIGTERM.json")
+    env = dict(os.environ)
+    env.setdefault(
+        "PYTHONPATH",
+        os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"),
+    )
+    process = subprocess.Popen(
+        _command(journal_dir, out), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    lines = []
+    try:
+        # Drain until the first workload lands, then request shutdown.
+        for line in process.stdout:
+            lines.append(line)
+            if line.startswith("  z") and "measured=" in line:
+                process.send_signal(signal.SIGTERM)
+                break
+        for line in process.stdout:
+            lines.append(line)
+        returncode = process.wait(timeout=120)
+    finally:
+        if process.poll() is None:
+            process.kill()
+    output = "".join(lines)
+    _require(
+        returncode == EXIT_INTERRUPTED,
+        f"sigterm: expected exit {EXIT_INTERRUPTED}, got {returncode}:\n"
+        f"{output}",
+    )
+    document = _require_valid(out)
+    partial = document.get("partial")
+    _require(
+        isinstance(partial, dict) and partial.get("reason") == "drain",
+        f"sigterm: artifact lacks a drain partial block: {partial!r}",
+    )
+    completed = partial["completed"]
+    _require(
+        0 < completed < _N,
+        f"sigterm: partial artifact completed {completed} of {_N} — "
+        "drain landed outside the campaign",
+    )
+    cells = sum(
+        cell
+        for row in document["confusion"].values()
+        for cell in row.values()
+    )
+    _require(
+        cells == len(document["workloads"]),
+        f"sigterm: confusion cells sum to {cells}, expected "
+        f"{len(document['workloads'])}",
+    )
+    resumed = _run(_command(journal_dir, out))
+    _require(
+        resumed.returncode == 0,
+        f"sigterm: resume failed (exit {resumed.returncode}):\n"
+        f"{resumed.stdout}",
+    )
+    _require_valid(out)
+    _require_converged(out, reference, "sigterm")
+    print(f"  sigterm: exit 75, valid partial ({completed}/{_N}), "
+          "resume converged")
+
+
+def _trial_budget(workdir: str, reference: dict) -> None:
+    """--max-workloads: exit 75 + valid partial, then resume to done."""
+    journal_dir = os.path.join(workdir, "budget-journal")
+    out = os.path.join(workdir, "BUDGET.json")
+    capped = _run(_command(journal_dir, out, extra=["--max-workloads", "2"]))
+    _require(
+        capped.returncode == EXIT_INTERRUPTED,
+        f"budget: expected exit {EXIT_INTERRUPTED}, got "
+        f"{capped.returncode}:\n{capped.stdout}",
+    )
+    document = _require_valid(out)
+    partial = document.get("partial")
+    _require(
+        isinstance(partial, dict)
+        and partial.get("reason") == "workload-budget"
+        and partial.get("completed") == 2,
+        f"budget: unexpected partial block {partial!r}",
+    )
+    _require(
+        len(document["workloads"]) + len(document["failures"]) == 2,
+        "budget: artifact does not cover exactly the budgeted prefix",
+    )
+    resumed = _run(_command(journal_dir, out))
+    _require(
+        resumed.returncode == 0,
+        f"budget: resume failed (exit {resumed.returncode}):\n"
+        f"{resumed.stdout}",
+    )
+    _require(
+        _executed_workloads(resumed.stdout) == _N - 2,
+        "budget: resume re-simulated budgeted workloads",
+    )
+    _require_valid(out)
+    _require_converged(out, reference, "budget")
+    print("  budget: exit 75, valid partial (2/4), resume converged")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI preset: one kill point plus the sigterm "
+                             "and budget trials")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the scratch directory for post-mortems")
+    args = parser.parse_args(argv)
+
+    kill_points = [2] if args.quick else [1, 2, 3]
+    workdir = tempfile.mkdtemp(prefix="repro-campaign-chaos-")
+    print(f"campaign chaos: scratch {workdir}")
+    try:
+        print("reference run (uninterrupted)...")
+        reference = _reference(workdir)
+        for kill_after in kill_points:
+            _trial_kill(workdir, reference, kill_after)
+        _trial_torn_line(workdir, reference)
+        _trial_sigterm(workdir, reference)
+        _trial_budget(workdir, reference)
+    except ContractViolation as violation:
+        print(f"CONTRACT VIOLATION: {violation}", file=sys.stderr)
+        return 1
+    except (OSError, subprocess.TimeoutExpired, CampaignError) as error:
+        print(f"harness error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        if args.keep:
+            print(f"scratch kept at {workdir}")
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+    trials = len(kill_points) + 3
+    print(f"campaign chaos: all {trials} trials passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,14 +10,23 @@ intended-versus-measured regime-confusion matrix and coverage stats.
 Re-running with the same seed reproduces the same spec digests bit for
 bit.
 
+The campaign is journaled (:mod:`repro.campaign`): every workload
+outcome is sealed durably under ``--journal-dir`` as it lands, so a
+crash, kill, SIGTERM drain, or ``--max-wall``/``--max-workloads``
+budget stop never discards completed work — re-running the same plan
+resumes where it died and converges to the uninterrupted artifact.
+
 Usage:
   python scripts/zoo_campaign.py --quick --seed 9          # CI-sized run
   python scripts/zoo_campaign.py --n 24 --seed 3 --jobs 8
+  python scripts/zoo_campaign.py --n 200 --max-wall 3600   # budgeted slice
   python scripts/zoo_campaign.py --validate-only ZOO_CAMPAIGN.json
   python scripts/zoo_campaign.py --report-only ZOO_CAMPAIGN.json
 
 Exit codes: 0 ok, 1 campaign unusable (no surviving workloads),
-2 schema-invalid artifact.
+2 schema-invalid artifact or operator error, 75 interrupted/budget-
+stopped but resumable (rerun the same command to continue), 128+signum
+on a second, forcing signal.
 """
 
 from __future__ import annotations
@@ -28,17 +37,31 @@ import os
 import shutil
 import sys
 import tempfile
+import time
 
+from repro.analysis.faults import ExecutionPolicy
 from repro.analysis.runner import CachedRunner, default_jobs
-from repro.exceptions import ReproError
+from repro.campaign import CampaignBudget, CampaignJournal
+from repro.exceptions import (
+    CampaignError,
+    CampaignIncomplete,
+    ReproError,
+    ShutdownRequested,
+)
 from repro.fsio import atomic_write_text
-from repro.resilience import apply_memory_limit, install_shutdown_handlers
+from repro.resilience import (
+    EXIT_INTERRUPTED,
+    apply_memory_limit,
+    install_shutdown_handlers,
+)
 from repro.zoo import (
     CampaignPlan,
+    plan_payload,
     render_campaign,
     run_campaign,
     validate_campaign_artifact,
 )
+from repro.zoo.campaign import ZOO_ARTIFACT_KIND
 
 EXIT_OK = 0
 EXIT_FAILED = 1
@@ -46,6 +69,9 @@ EXIT_INVALID = 2
 
 #: The --quick preset: a CI-sized stratified mini-campaign.
 _QUICK_N = 12
+
+#: Default home for campaign progress journals.
+_JOURNAL_DIR = os.path.join("results", "campaigns")
 
 
 def _load_artifact(path: str) -> dict:
@@ -61,6 +87,15 @@ def _validate(path: str, document: dict) -> bool:
             print(f"  - {problem}", file=sys.stderr)
         return False
     return True
+
+
+def _write_artifact(path: str, document: dict) -> None:
+    out_dir = os.path.dirname(path)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    atomic_write_text(
+        path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def main(argv=None) -> int:
@@ -94,6 +129,25 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None,
                         help="simulation cache directory (default: a fresh "
                              "temp dir, removed afterwards)")
+    parser.add_argument("--journal-dir", default=_JOURNAL_DIR,
+                        help="campaign journal root; completed workloads are "
+                             "sealed here and reused on resume "
+                             "(default: %(default)s)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="run without a progress journal (no resume; "
+                             "a crash discards the whole campaign)")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="discard any existing journal for this plan "
+                             "and start the campaign from scratch")
+    parser.add_argument("--max-wall", type=float, default=None, metavar="S",
+                        help="wall-clock budget in seconds for this "
+                             "invocation; on expiry the campaign stops at a "
+                             "workload boundary with a resumable partial "
+                             "artifact (exit 75)")
+    parser.add_argument("--max-workloads", type=int, default=None, metavar="K",
+                        help="cap on total completed workloads (journal-"
+                             "reused ones included); exceeding it stops with "
+                             "a resumable partial artifact (exit 75)")
     parser.add_argument("--validate-only", metavar="ARTIFACT", default=None,
                         help="schema-validate an existing artifact and exit "
                              "(no simulations run)")
@@ -107,10 +161,15 @@ def main(argv=None) -> int:
         if not _validate(args.validate_only, document):
             return EXIT_INVALID
         accuracy = document["accuracy"]
+        partial = document.get("partial")
+        note = (
+            f", PARTIAL: {partial['reason']}, "
+            f"{partial['remaining']} workloads remaining" if partial else ""
+        )
         print(
             f"{args.validate_only}: schema-valid "
             f"({accuracy['count']} workloads, "
-            f"MAPE {accuracy['mape_pct']:.2f}%)"
+            f"MAPE {accuracy['mape_pct']:.2f}%{note})"
         )
         return EXIT_OK
 
@@ -132,15 +191,57 @@ def main(argv=None) -> int:
         work_scale=args.work_scale,
         sample_scale=args.sample_scale,
     )
+    budget = CampaignBudget(
+        max_wall_s=args.max_wall, max_workloads=args.max_workloads
+    )
+    journal = None
+    if not args.no_journal:
+        if args.no_resume:
+            if CampaignJournal.discard(
+                args.journal_dir, ZOO_ARTIFACT_KIND, plan_payload(plan)
+            ):
+                print("discarded existing journal for this plan")
+        try:
+            journal = CampaignJournal.open(
+                args.journal_dir,
+                ZOO_ARTIFACT_KIND,
+                plan_payload(plan),
+                created_unix=time.time(),
+            )
+        except CampaignError as error:
+            print(f"journal error: {error}", file=sys.stderr)
+            return EXIT_INVALID
+        if journal.completed:
+            counts = journal.statuses()
+            print(
+                f"journal {journal.digest}: {len(journal.completed)} "
+                f"workload(s) already sealed ({counts['ok']} ok, "
+                f"{counts['failed']} failed)"
+            )
+
     jobs = args.jobs if args.jobs > 0 else default_jobs()
     cache_dir = args.cache_dir
     temp_cache = cache_dir is None
     if temp_cache:
         cache_dir = tempfile.mkdtemp(prefix="repro-zoo-")
     try:
-        runner = CachedRunner(os.path.join(cache_dir, "simcache"), jobs=jobs)
+        # keep_going: one pathological generated workload is a recorded
+        # casualty (manifest + breaker), never the whole campaign.
+        runner = CachedRunner(
+            os.path.join(cache_dir, "simcache"),
+            jobs=jobs,
+            policy=ExecutionPolicy(keep_going=True),
+        )
         try:
-            document = run_campaign(plan, runner, log=print)
+            document = run_campaign(
+                plan, runner, log=print, journal=journal, budget=budget
+            )
+        except CampaignIncomplete as error:
+            print(f"campaign interrupted: {error}", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        except ShutdownRequested as error:
+            print(f"campaign drained: {error}", file=sys.stderr)
+            return EXIT_INTERRUPTED
         except ReproError as error:
             print(f"campaign failed: {error}", file=sys.stderr)
             return EXIT_FAILED
@@ -150,15 +251,18 @@ def main(argv=None) -> int:
 
     if not _validate(args.out, document):
         return EXIT_INVALID
-    out_dir = os.path.dirname(args.out)
-    if out_dir:
-        os.makedirs(out_dir, exist_ok=True)
-    atomic_write_text(
-        args.out, json.dumps(document, indent=2, sort_keys=True) + "\n"
-    )
+    _write_artifact(args.out, document)
     print(f"wrote {args.out}")
     print()
     print(render_campaign(document), end="")
+    partial = document.get("partial")
+    if partial:
+        print(
+            f"PARTIAL artifact ({partial['reason']}): "
+            f"{partial['completed']} of {partial['planned']} workloads "
+            f"completed; rerun the same command to resume"
+        )
+        return EXIT_INTERRUPTED
     return EXIT_OK
 
 

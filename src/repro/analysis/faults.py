@@ -55,7 +55,8 @@ therefore never contain ``:`` or ``,``.
 The filesystem directives (``enospc``/``partial-write``/``slow-io``)
 target *write seams*, not runs: ``<op>`` prefix-matches one of
 :data:`IO_OPS` (``store``, ``checkpoint``, ``trace``, ``metrics``,
-``manifest``), the labels :mod:`repro.fsio` writers are called with.
+``manifest``, ``journal``), the labels :mod:`repro.fsio` writers are
+called with.
 They are consumed through :func:`next_io_fault`; the fired-count
 bookkeeping is per process (pool workers count their own), and
 :func:`reset_io_faults` rewinds it between chaos phases.
@@ -89,6 +90,8 @@ __all__ = [
     "InjectedFaultError",
     "FAULT_INJECT_ENV",
     "IO_OPS",
+    "MANIFEST_MAX_MB_ENV",
+    "STREAK",
     "OK",
     "FAILED",
     "TIMEOUT",
@@ -125,7 +128,19 @@ SKIPPED = "skipped"
 MANIFEST_STATUSES = frozenset((FAILED, TIMEOUT, OOM, INTERRUPTED))
 
 #: Write-seam labels the filesystem directives can target.
-IO_OPS = ("store", "checkpoint", "trace", "metrics", "manifest")
+IO_OPS = ("store", "checkpoint", "trace", "metrics", "manifest", "journal")
+
+#: Size ceiling (MiB) for one failure-manifest shard before it is
+#: compacted; 0 disables rotation.  Multi-hundred-workload campaigns
+#: append a record per casualty per attempt, so shards are rotated into
+#: synthetic per-key ``streak`` records that preserve the circuit
+#: breaker's consecutive-failure counts while dropping the bulk.
+MANIFEST_MAX_MB_ENV = "REPRO_MANIFEST_MAX_MB"
+_DEFAULT_MANIFEST_MAX_MB = 16.0
+
+#: Status of the synthetic records a rotation leaves behind: one per run
+#: key, carrying that key's consecutive-failure count at rotation time.
+STREAK = "streak"
 
 _IO_ACTIONS = ("enospc", "partial-write", "slow-io")
 _RUN_ACTIONS = ("fail", "hang", "die", "die-at-kernel")
@@ -306,6 +321,14 @@ class FailureManifest:
     Append-only like the store itself: a crash can at worst truncate the
     final line, and re-runs simply append fresh records.  ``root=None``
     disables persistence (memory-only stores).
+
+    Shards are bounded: past ``REPRO_MANIFEST_MAX_MB`` (default 16 MiB,
+    0 disables) a shard is *compacted* — its history collapses to one
+    synthetic ``streak`` record per run key carrying that key's
+    consecutive-failure count, so the circuit breaker sees exactly the
+    streaks it would have counted from the raw records.  The raw shard
+    is kept once as ``<shard>.jsonl.old`` (overwritten by the next
+    rotation, so disk stays bounded at ~2x the ceiling per shard).
     """
 
     def __init__(self, root: Optional[str]) -> None:
@@ -342,17 +365,108 @@ class FailureManifest:
         try:
             os.makedirs(self.root, exist_ok=True)
             for shard, lines in sorted(by_shard.items()):
+                path = self.path_for(shard)
                 fsio.append_text(
-                    self.path_for(shard),
+                    path,
                     "".join(line + "\n" for line in lines),
                     op="manifest",
                 )
                 written += len(lines)
+                self._rotate_if_oversized(shard, path, stamp)
         except OSError as error:
             warnings.warn(
                 f"failure manifest: cannot write under {self.root}: {error}"
             )
         return written
+
+    def _rotate_if_oversized(
+        self, shard: str, path: str, stamp: float
+    ) -> None:
+        """Compact ``path`` to per-key streak records past the ceiling.
+
+        Rotation must never mask the run failures being recorded, so any
+        I/O error here degrades to a warning, like :meth:`append`.
+        """
+        limit = manifest_max_bytes()
+        if limit <= 0:
+            return
+        try:
+            if os.path.getsize(path) <= limit:
+                return
+            with open(path) as fh:
+                raw_lines = fh.readlines()
+        except OSError:
+            return
+        streaks = _streaks_from_lines(raw_lines)
+        compact = [
+            json.dumps(
+                {
+                    "key": key,
+                    "status": STREAK,
+                    "count": count,
+                    "shard": shard,
+                    "recorded_at": stamp,
+                }
+            )
+            for key, count in sorted(streaks.items())
+            if count > 0
+        ]
+        try:
+            # Raw history survives one rotation for post-mortems; the
+            # ``.old`` suffix keeps it off the breaker's ``*.jsonl`` scan
+            # (it would double-count against the streak records).
+            os.replace(path, path + ".old")
+            fsio.atomic_write_text(
+                path,
+                "".join(line + "\n" for line in compact),
+                op="manifest",
+            )
+        except OSError as error:
+            warnings.warn(
+                f"failure manifest: cannot rotate {path}: {error}"
+            )
+            return
+        warnings.warn(
+            f"failure manifest: rotated {path} "
+            f"({len(raw_lines)} records -> {len(compact)} streak records)"
+        )
+
+
+def manifest_max_bytes() -> int:
+    """The per-shard rotation ceiling in bytes (0 = rotation disabled)."""
+    from repro.resilience import env_float
+
+    megabytes = env_float(MANIFEST_MAX_MB_ENV, _DEFAULT_MANIFEST_MAX_MB)
+    return int(megabytes * 1024 * 1024)
+
+
+def _streaks_from_lines(lines: Iterable[str]) -> Dict[str, int]:
+    """Per-key consecutive-failure counts, mirroring the breaker's scan:
+    ``ok`` resets, terminal failures increment, ``streak`` records (from
+    an earlier rotation) seed the count, anything else is ignored."""
+    streaks: Dict[str, int] = {}
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated trailing line: append-only contract
+        if not isinstance(record, dict):
+            continue
+        key = record.get("key")
+        status = record.get("status")
+        if not isinstance(key, str):
+            continue
+        if status == OK:
+            streaks[key] = 0
+        elif status == STREAK:
+            count = record.get("count")
+            if isinstance(count, int) and not isinstance(count, bool):
+                streaks[key] = max(0, count)
+        elif status in (FAILED, TIMEOUT, OOM):
+            streaks[key] = streaks.get(key, 0) + 1
+    return streaks
 
 
 # --- deterministic fault injection ---------------------------------------------

@@ -16,7 +16,7 @@ quick tier and fails on regression beyond tolerance.
 """
 
 from repro.bench.compare import Regression, Thresholds, compare_artifacts
-from repro.bench.harness import run_bench
+from repro.bench.harness import matrix_plan_payload, run_bench
 from repro.bench.matrix import (
     BenchCase,
     BenchMatrix,
@@ -42,6 +42,7 @@ __all__ = [
     "compare_artifacts",
     "full_matrix",
     "matrix_for_tier",
+    "matrix_plan_payload",
     "quick_matrix",
     "run_bench",
     "validate_artifact",

@@ -113,6 +113,14 @@ def compare_artifacts(
         problems = validate_artifact(document)
         if problems:
             raise ValueError(f"{name} artifact is not schema-valid: {problems}")
+        partial = document.get("partial")
+        if partial is not None:
+            raise ValueError(
+                f"{name} artifact is partial "
+                f"({partial.get('reason', 'interrupted')}: "
+                f"{partial.get('remaining')} workloads remaining) — resume "
+                "the campaign to completion before gating on it"
+            )
     if baseline["tier"] != current["tier"]:
         raise ValueError(
             f"cannot compare tiers: baseline is {baseline['tier']!r}, "

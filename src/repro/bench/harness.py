@@ -40,14 +40,16 @@ from repro.analysis.parallel import RunRequest
 from repro.analysis.runner import CachedRunner
 from repro.bench.matrix import BenchCase, BenchMatrix
 from repro.bench.schema import ARTIFACT_KIND, SCHEMA_VERSION
+from repro.campaign import CampaignBudget, CampaignJournal, run_units
 from repro.checkpoint import CheckpointPolicy
 from repro.core import ScaleModelPredictor, ScaleModelProfile
+from repro.exceptions import CampaignIncomplete, ShutdownRequested
 from repro.gpu.results import SimulationResult
 from repro.obs import run_phase, sample_peak_rss
 from repro.obs.metrics import get_registry
 from repro.zoo import CampaignPlan, run_campaign, zoo_bench_block
 
-__all__ = ["run_bench"]
+__all__ = ["matrix_plan_payload", "run_bench"]
 
 #: Generated workloads in the harness's zoo mini-campaign, per tier.
 #: Deterministic in the matrix seed, so the zoo family gates as tightly
@@ -66,6 +68,23 @@ def _runner(cache_dir: str, jobs: int) -> CachedRunner:
         policy=ExecutionPolicy(),
         checkpoint=_NO_CHECKPOINT,
     )
+
+
+def matrix_plan_payload(matrix: BenchMatrix) -> dict:
+    """The matrix as JSON — the payload a bench campaign journal's
+    sealed header binds its plan digest to."""
+    return {
+        "tier": matrix.tier,
+        "seed": matrix.seed,
+        "cases": [
+            {
+                "abbr": case.abbr,
+                "scales": list(case.scales),
+                "targets": list(case.targets),
+            }
+            for case in matrix.cases
+        ],
+    }
 
 
 def _requests(matrix: BenchMatrix) -> List[RunRequest]:
@@ -173,42 +192,118 @@ def run_bench(
     cache_dir: str,
     jobs: int = 1,
     created_unix: Optional[float] = None,
+    journal: Optional[CampaignJournal] = None,
+    budget: Optional[CampaignBudget] = None,
 ) -> dict:
     """Execute ``matrix`` cold then warm; return the artifact document.
 
-    ``cache_dir`` must not hold results from a previous campaign, or the
-    "cold" numbers silently measure cache hits; the caller owns creating
-    (and cleaning up) a fresh directory.
+    Without a ``journal``, ``cache_dir`` must not hold results from a
+    previous campaign, or the "cold" numbers silently measure cache
+    hits; the caller owns creating (and cleaning up) a fresh directory.
+
+    With a ``journal`` (which only makes sense over a *persistent*
+    ``cache_dir`` — the journal seals which cases completed, the store
+    holds their results), the cold pass runs only the cases the journal
+    has not sealed; sealed cases are served from the store without
+    re-simulation, and the cold-count guard demands computation for
+    exactly the new cases.  A drain (SIGINT/SIGTERM) or ``budget`` stop
+    finalizes a schema-valid artifact over the completed cases plus a
+    ``partial`` block (throughput/accuracy then cover that prefix, and
+    the zoo family is skipped); re-running the same matrix resumes and
+    converges to the uninterrupted artifact modulo wall-time fields.
     """
     loop_before = _engine_loop_seconds()
+    by_abbr = {case.abbr: case for case in matrix.cases}
+    units = [case.abbr for case in matrix.cases]
+    sealed = journal.completed if journal is not None else {}
+    allowed = units
+    if budget is not None and budget.max_workloads is not None:
+        allowed = units[: budget.max_workloads]
+    pending = tuple(by_abbr[abbr] for abbr in allowed if abbr not in sealed)
 
     with run_phase("bench.cold", tier=matrix.tier, jobs=jobs):
         cold_start = time.perf_counter()
         cold = _runner(cache_dir, jobs)
-        sims = _campaign(cold, matrix)
+        cold.executed = 0
+        if pending:
+            sub_matrix = BenchMatrix(
+                tier=matrix.tier, cases=pending, seed=matrix.seed
+            )
+            try:
+                cold.executed = cold.prefetch(_requests(sub_matrix))
+            except ShutdownRequested:
+                # Drain mid-prefetch: completed runs are merged into the
+                # store; the unit loop below stops at the first unsealed
+                # case and we finalize a partial artifact.
+                pass
+
+        def execute(abbr: str):
+            case = by_abbr[abbr]
+            for size in case.sizes:
+                cold.simulate(case.spec, size, seed=matrix.seed)
+            cold.miss_rate_curve(case.spec, seed=matrix.seed)
+            return "ok", {"abbr": abbr, "runs": len(case.sizes) + 1}
+
+        summary = run_units(units, execute, journal=journal, budget=budget)
+        cold.flush()
         cold_wall = time.perf_counter() - cold_start
-    # Lazy-path misses plus pool-executed runs must account for the whole
-    # matrix, or the "cold" numbers measured a warm cache.
-    cold_computed = cold.misses + cold.executed
-    if cold_computed != matrix.run_count:
-        raise RuntimeError(
-            f"cold campaign expected {matrix.run_count} computed runs, got "
-            f"{cold_computed} (stale cache_dir {cache_dir!r}?)"
+
+    if not summary.outcomes:
+        raise CampaignIncomplete(
+            f"bench campaign stopped ({summary.stopped}) before any case "
+            "completed; rerun the same matrix to resume",
+            reason=summary.stopped or "interrupted",
         )
+
+    # Lazy-path misses plus pool-executed runs must account for every
+    # *newly executed* case, or the "cold" numbers measured a warm
+    # cache.  Journal-reused cases are deliberately excluded: their runs
+    # are served from the persistent store and must NOT be demanded as
+    # cold misses (that double-counting is exactly what broke resumed
+    # campaigns).  An interrupted pass skips the guard — prefetch may
+    # have computed runs for cases the stop left unsealed.
+    if summary.stopped is None:
+        new_runs = sum(
+            len(by_abbr[outcome.unit].sizes) + 1
+            for outcome in summary.outcomes
+            if not outcome.reused
+        )
+        cold_computed = cold.misses + cold.executed
+        if cold_computed != new_runs:
+            raise RuntimeError(
+                f"cold campaign expected {new_runs} computed runs, got "
+                f"{cold_computed} (stale cache_dir {cache_dir!r}?)"
+            )
+
+    # Everything downstream measures the *completed* cases: the full
+    # matrix on a finished campaign, the sealed prefix on a partial one.
+    done_matrix = BenchMatrix(
+        tier=matrix.tier,
+        cases=tuple(by_abbr[outcome.unit] for outcome in summary.outcomes),
+        seed=matrix.seed,
+    )
+
+    if summary.stopped == "drain":
+        # Finalizing a drained campaign only replays cache hits (fast,
+        # no new simulation); rearm the coordinator so the warm and
+        # accuracy passes below can finish instead of re-raising.
+        from repro.resilience import get_coordinator
+
+        get_coordinator().reset()
 
     with run_phase("bench.warm", tier=matrix.tier):
         warm_start = time.perf_counter()
         warm = _runner(cache_dir, jobs=1)
-        _campaign(warm, matrix)
+        sims = _campaign(warm, done_matrix)
         warm_wall = time.perf_counter() - warm_start
     # Capture before the accuracy phase re-reads curves through the same
     # runner, or the hit count drifts past the campaign's run count.
     warm_hits, warm_misses = warm.hits, warm.misses
 
     with run_phase("bench.accuracy", tier=matrix.tier):
-        accuracy = _accuracy_by_regime(warm, matrix, sims)
+        accuracy = _accuracy_by_regime(warm, done_matrix, sims)
 
-    classes = _throughput_by_class(matrix, sims)
+    classes = _throughput_by_class(done_matrix, sims)
     harness_sim_wall = sum(block["wall_time_s"] for block in classes.values())
     # Capture before the zoo phase: the cross-check pairs the engine-loop
     # time with the *matrix* runs' wall sum, and zoo runs are neither.
@@ -216,14 +311,27 @@ def run_bench(
 
     # The generated-workload mini-campaign runs through its own cache
     # sibling so the cold-count assertion above and the warm hit counts
-    # stay facts about the fixed matrix alone.
-    with run_phase("bench.zoo", tier=matrix.tier, jobs=jobs):
-        zoo_plan = CampaignPlan(n=_ZOO_N[matrix.tier], seed=matrix.seed)
-        zoo_artifact = run_campaign(
-            zoo_plan, _runner(f"{cache_dir}-zoo", jobs)
-        )
+    # stay facts about the fixed matrix alone.  A partial bench run
+    # skips it (the zoo block is optional in the schema): its cost
+    # belongs to a finished campaign, and the resumed rerun will run it.
+    zoo_artifact = None
+    if summary.stopped is None:
+        with run_phase("bench.zoo", tier=matrix.tier, jobs=jobs):
+            zoo_plan = CampaignPlan(n=_ZOO_N[matrix.tier], seed=matrix.seed)
+            zoo_artifact = run_campaign(
+                zoo_plan, _runner(f"{cache_dir}-zoo", jobs)
+            )
+        if "partial" in zoo_artifact:
+            # Drained mid-zoo.  The matrix cases are all sealed in the
+            # journal (rerunning is nearly free), so resume rather than
+            # publishing a bench artifact with a truncated zoo family.
+            raise CampaignIncomplete(
+                "bench campaign drained during the zoo phase; rerun the "
+                "same matrix to resume",
+                reason="drain",
+            )
 
-    return {
+    document = {
         "schema_version": SCHEMA_VERSION,
         "kind": ARTIFACT_KIND,
         "tier": matrix.tier,
@@ -251,12 +359,11 @@ def run_bench(
         "campaign": {
             "cold_wall_s": cold_wall,
             "warm_wall_s": warm_wall,
-            "runs": matrix.run_count,
+            "runs": done_matrix.run_count,
             "warm_hits": warm_hits,
             "warm_misses": warm_misses,
         },
         "accuracy": accuracy,
-        "zoo": zoo_bench_block(zoo_artifact),
         "memory": {"peak_rss_bytes": sample_peak_rss()},
         "cross_check": {
             # Instrumented loop time (repro.obs engine hook) versus the
@@ -268,3 +375,17 @@ def run_bench(
             "harness_sim_wall_s": harness_sim_wall,
         },
     }
+    if zoo_artifact is not None:
+        document["zoo"] = zoo_bench_block(zoo_artifact)
+    if summary.partial:
+        # Only partial artifacts carry this block: a resumed run that
+        # finishes the matrix is indistinguishable from an uninterrupted
+        # one (resume telemetry stays in the log and journal).
+        document["partial"] = {
+            "reason": summary.stopped,
+            "signum": summary.signum,
+            "completed": summary.completed,
+            "planned": len(units),
+            "remaining": len(summary.remaining),
+        }
+    return document

@@ -165,6 +165,22 @@ def validate_artifact(document: Any) -> List[str]:
                     f"got {shed_rate!r}"
                 )
 
+    partial = document.get("partial")
+    if partial is not None:
+        # An interrupted/budget-stopped campaign: the artifact covers
+        # the completed prefix and says so.  Still schema-valid — but
+        # the comparator refuses to gate on it.
+        if not isinstance(partial, dict):
+            problems.append("partial: expected an object")
+        else:
+            reason = partial.get("reason")
+            if not isinstance(reason, str) or not reason:
+                problems.append("partial.reason: expected a non-empty string")
+            _check_metric_block(
+                problems, "partial", partial,
+                ("completed", "planned", "remaining"),
+            )
+
     zoo = document.get("zoo")
     if zoo is not None:
         _check_metric_block(problems, "zoo", zoo, ZOO_METRICS)

@@ -55,6 +55,30 @@ class InvariantError(ReproError):
     """
 
 
+class CampaignError(ReproError):
+    """A campaign-level orchestration failure (journal, plan, resume).
+
+    Raised by :mod:`repro.campaign` for conditions the operator must
+    resolve — a journal sealed for a *different* plan, an unreadable
+    header — never for per-workload casualties, which campaigns record
+    in their artifact and press on from.
+    """
+
+
+class CampaignIncomplete(CampaignError):
+    """A campaign stopped (drain or budget) before any unit completed.
+
+    There is no artifact to write — not even a partial one — but the
+    situation is resumable: the journal holds whatever was sealed, and
+    rerunning the same command continues the sweep.  CLI boundaries map
+    this to :data:`repro.resilience.EXIT_INTERRUPTED` (75).
+    """
+
+    def __init__(self, message: str, reason: str = "interrupted"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class ExecutionError(ReproError):
     """A batch execution finished with runs that failed despite retries.
 

@@ -99,6 +99,9 @@ DEFAULT_BREAKER_THRESHOLD = 3
 #: must stay import-free of the analysis package (which imports it).
 _BREAKER_FAILURE_STATUSES = frozenset(("failed", "timeout", "oom"))
 _BREAKER_RESET_STATUS = "ok"
+#: Synthetic record left by failure-manifest rotation: carries the
+#: key's consecutive-failure count at rotation time.
+_BREAKER_STREAK_STATUS = "streak"
 
 
 # --- tolerant environment parsing -------------------------------------------------
@@ -506,6 +509,13 @@ class CircuitBreaker:
                 continue
             if status == _BREAKER_RESET_STATUS:
                 streaks[key] = 0
+            elif status == _BREAKER_STREAK_STATUS:
+                # A manifest rotation (repro.analysis.faults) compacted
+                # this key's history to its consecutive-failure count;
+                # seed the streak from it so semantics survive rotation.
+                count = record.get("count")
+                if isinstance(count, int) and not isinstance(count, bool):
+                    streaks[key] = max(0, count)
             elif status in _BREAKER_FAILURE_STATUSES:
                 streaks[key] = streaks.get(key, 0) + 1
 

@@ -37,6 +37,7 @@ from repro.zoo.grammar import (
 from repro.zoo.sample import REGIMES, sample_batch, sample_spec
 from repro.zoo.campaign import (
     CampaignPlan,
+    plan_payload,
     run_campaign,
     validate_campaign_artifact,
     zoo_bench_block,
@@ -55,6 +56,7 @@ __all__ = [
     "Seq",
     "REGIMES",
     "expr_from_json",
+    "plan_payload",
     "realize",
     "render_campaign",
     "run_campaign",

@@ -29,8 +29,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.analysis.classify import classify_scaling
 from repro.analysis.parallel import RunRequest
 from repro.analysis.runner import CachedRunner
+from repro.campaign import CampaignBudget, CampaignJournal, run_units
 from repro.core import ScaleModelPredictor, ScaleModelProfile
-from repro.exceptions import ReproError, WorkloadError
+from repro.exceptions import (
+    CampaignIncomplete,
+    ReproError,
+    ShutdownRequested,
+    WorkloadError,
+)
 from repro.zoo.grammar import GeneratedSpec
 from repro.zoo.sample import REGIMES, sample_batch
 
@@ -38,6 +44,7 @@ __all__ = [
     "ZOO_ARTIFACT_KIND",
     "ZOO_SCHEMA_VERSION",
     "CampaignPlan",
+    "plan_payload",
     "run_campaign",
     "validate_campaign_artifact",
     "zoo_bench_block",
@@ -87,6 +94,20 @@ class CampaignPlan:
     def sizes(self) -> Tuple[int, ...]:
         """All sizes swept, ascending."""
         return tuple(sorted((*self.scales, self.target)))
+
+
+def plan_payload(plan: CampaignPlan) -> dict:
+    """The plan as JSON — both the artifact ``plan`` block and the
+    payload the campaign journal's sealed header binds its digest to."""
+    return {
+        "n": plan.n,
+        "seed": plan.seed,
+        "scales": list(plan.scales),
+        "target": plan.target,
+        "work_scale": plan.work_scale,
+        "sample_scale": plan.sample_scale,
+        "regimes": list(plan.regimes),
+    }
 
 
 def _requests(
@@ -193,67 +214,103 @@ def run_campaign(
     plan: CampaignPlan,
     runner: CachedRunner,
     log: Optional[Callable[[str], None]] = None,
+    journal: Optional[CampaignJournal] = None,
+    budget: Optional[CampaignBudget] = None,
 ) -> dict:
     """Execute ``plan`` through ``runner``; return the campaign artifact.
 
-    Raises :class:`~repro.exceptions.ReproError` only when *no* workload
-    survives — individual failures are recorded in the artifact's
-    ``failures`` list and excluded from the accuracy statistics.
+    Per-workload failures are recorded in the artifact's ``failures``
+    list and excluded from the accuracy statistics — a generated corpus
+    is allowed to contain workloads the engine rejects.
+
+    With a ``journal``, every workload outcome is sealed durably as it
+    lands and already-sealed workloads are reused instead of
+    re-simulated, so a crashed or budget-stopped campaign resumes where
+    it died and converges to the uninterrupted artifact (modulo the
+    scrubbed wall-time fields).  A drain (SIGINT/SIGTERM) or ``budget``
+    stop yields the same artifact shape plus a ``partial`` block; the
+    statistics then cover exactly the completed prefix.
+
+    Raises :class:`~repro.exceptions.CampaignIncomplete` when a stop
+    left *zero* usable workloads (nothing to write — resume instead),
+    and :class:`~repro.exceptions.ReproError` when a full sweep produced
+    only failures.
     """
     say = log or (lambda message: None)
     specs = sample_batch(
         plan.n, plan.seed, regimes=plan.regimes, scale=plan.sample_scale
     )
+    by_unit = {spec.digest: spec for spec in specs}
+    units = [spec.digest for spec in specs]
     say(
         f"zoo campaign: {len(specs)} generated workloads x sizes "
         f"{list(plan.sizes)} (seed {plan.seed})"
     )
     start = time.perf_counter()
-    requests = _requests(plan, specs)
-    runner.prefetch(requests)
-    records: List[dict] = []
-    failures: List[dict] = []
-    for spec in specs:
+    # Prefetch only what this invocation may actually execute: workloads
+    # the journal has not sealed, within the workload cap.
+    allowed = units
+    if budget is not None and budget.max_workloads is not None:
+        allowed = units[: budget.max_workloads]
+    sealed = journal.completed if journal is not None else {}
+    pending = [by_unit[unit] for unit in allowed if unit not in sealed]
+    try:
+        runner.prefetch(_requests(plan, pending))
+    except ShutdownRequested:
+        # Drain arrived mid-prefetch.  Completed runs are already merged
+        # into the cache store (the parallel layer guarantees that), and
+        # the coordinator stays tripped, so the unit loop below stops at
+        # the first unsealed workload and we finalize a partial artifact.
+        pass
+
+    def execute(unit: str) -> Tuple[str, dict]:
+        spec = by_unit[unit]
         try:
             record = _measure(plan, runner, spec)
         except ReproError as error:
-            failures.append(
-                {"abbr": spec.abbr, "intent": spec.intent, "error": str(error)}
-            )
             say(f"  {spec.abbr} [{spec.intent}] FAILED: {error}")
-            continue
-        records.append(record)
+            return "failed", {
+                "abbr": spec.abbr,
+                "intent": spec.intent,
+                "error": str(error),
+            }
         say(
             f"  {record['abbr']} intent={record['intent']} "
             f"measured={record['measured']} ape={record['ape_pct']:.2f}%"
         )
+        return "ok", record
+
+    summary = run_units(
+        units, execute, journal=journal, budget=budget, log=say
+    )
     runner.flush()
     wall = time.perf_counter() - start
+    records = [o.record for o in summary.outcomes if o.status == "ok"]
+    failures = [o.record for o in summary.outcomes if o.status == "failed"]
+    specs_done = [by_unit[o.unit] for o in summary.outcomes]
     if not records:
+        if summary.partial:
+            raise CampaignIncomplete(
+                f"zoo campaign stopped ({summary.stopped}) before any "
+                "workload completed; rerun the same plan to resume",
+                reason=summary.stopped or "interrupted",
+            )
         raise ReproError(
             f"zoo campaign produced no usable workloads "
             f"({len(failures)} failures)"
         )
     matches = sum(1 for r in records if r["intent"] == r["measured"])
     apes = [r["ape_pct"] for r in records]
-    return {
+    artifact = {
         "schema_version": ZOO_SCHEMA_VERSION,
         "kind": ZOO_ARTIFACT_KIND,
         "created_unix": time.time(),
-        "plan": {
-            "n": plan.n,
-            "seed": plan.seed,
-            "scales": list(plan.scales),
-            "target": plan.target,
-            "work_scale": plan.work_scale,
-            "sample_scale": plan.sample_scale,
-            "regimes": list(plan.regimes),
-        },
+        "plan": plan_payload(plan),
         "workloads": records,
         "failures": failures,
         "regimes": _regime_stats(records),
         "confusion": _confusion(records),
-        "coverage": _coverage(specs, records),
+        "coverage": _coverage(specs_done, records),
         "accuracy": {
             "mape_pct": sum(apes) / len(apes),
             "max_ape_pct": max(apes),
@@ -262,12 +319,24 @@ def run_campaign(
         },
         "campaign": {
             "wall_s": wall,
-            "runs": len(requests),
-            "workloads": len(specs),
+            "runs": len(_requests(plan, specs_done)),
+            "workloads": len(specs_done),
             "failed": len(failures),
             "workloads_per_sec": len(records) / wall if wall > 0 else 0.0,
         },
     }
+    if summary.partial:
+        # Only partial artifacts carry this block: a resumed run that
+        # finishes the plan is indistinguishable from an uninterrupted
+        # one (resume telemetry goes to the log and journal instead).
+        artifact["partial"] = {
+            "reason": summary.stopped,
+            "signum": summary.signum,
+            "completed": summary.completed,
+            "planned": len(units),
+            "remaining": len(summary.remaining),
+        }
+    return artifact
 
 
 # --------------------------------------------------------------------------
@@ -395,6 +464,22 @@ def validate_campaign_artifact(document: object) -> List[str]:
         for key in ("intended", "measured", "families"):
             if not isinstance(coverage.get(key), dict):
                 problems.append(f"coverage.{key}: expected an object")
+
+    if "partial" in document:
+        partial = document["partial"]
+        if not isinstance(partial, dict):
+            problems.append("partial: expected an object")
+        else:
+            if not isinstance(partial.get("reason"), str) or not partial.get(
+                "reason"
+            ):
+                problems.append("partial.reason: expected a non-empty string")
+            _check_numbers(
+                problems,
+                "partial",
+                partial,
+                ("completed", "planned", "remaining"),
+            )
     return problems
 
 
@@ -404,6 +489,11 @@ def zoo_bench_block(artifact: Mapping) -> dict:
     if problems:
         raise ReproError(
             "cannot bridge an invalid zoo artifact: " + "; ".join(problems[:3])
+        )
+    if "partial" in artifact:
+        raise ReproError(
+            "cannot bridge a partial zoo artifact into the bench zoo "
+            "family: finish (resume) the campaign first"
         )
     accuracy = artifact["accuracy"]
     campaign = artifact["campaign"]

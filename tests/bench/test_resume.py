@@ -1,0 +1,89 @@
+"""Bench campaign resume: journaled run_bench over a persistent cache —
+budget stop, resume without re-simulation, and the stale-cache guard
+accepting journal-reused runs (the satellite regression)."""
+
+import pytest
+
+from repro.bench import (
+    ARTIFACT_KIND,
+    compare_artifacts,
+    matrix_plan_payload,
+    validate_artifact,
+)
+from repro.bench import harness
+from repro.bench.harness import run_bench
+from repro.bench.matrix import BenchCase, BenchMatrix
+from repro.campaign import CampaignBudget, CampaignJournal
+
+from tests.bench.test_schema import make_artifact
+
+PARTIAL_BLOCK = {
+    "reason": "drain", "signum": 15,
+    "completed": 1, "planned": 3, "remaining": 2,
+}
+
+
+class TestPartialArtifactPlumbing:
+    def test_schema_accepts_a_well_formed_partial_block(self):
+        document = make_artifact()
+        document["partial"] = dict(PARTIAL_BLOCK)
+        assert validate_artifact(document) == []
+
+    def test_schema_rejects_malformed_partial_blocks(self):
+        for bad in (
+            "drained",
+            {"reason": ""},
+            {"reason": "drain", "completed": "one"},
+        ):
+            document = make_artifact()
+            document["partial"] = bad
+            assert validate_artifact(document) != []
+
+    def test_compare_refuses_partial_artifacts(self):
+        good = make_artifact()
+        partial = make_artifact()
+        partial["partial"] = dict(PARTIAL_BLOCK)
+        with pytest.raises(ValueError, match="partial"):
+            compare_artifacts(partial, good)
+        with pytest.raises(ValueError, match="partial"):
+            compare_artifacts(good, partial)
+
+
+def test_budget_stop_then_resume_without_resimulation(tmp_path, monkeypatch):
+    # One generated workload in the zoo phase keeps the completed-run
+    # cost test-sized without touching the resume logic under test.
+    monkeypatch.setitem(harness._ZOO_N, "quick", 1)
+    matrix = BenchMatrix(
+        tier="quick", cases=(BenchCase("va"), BenchCase("bs")), seed=0
+    )
+    plan = matrix_plan_payload(matrix)
+    cache = str(tmp_path / "simcache")
+
+    def open_journal():
+        return CampaignJournal.open(
+            str(tmp_path / "journal"), ARTIFACT_KIND, plan, created_unix=0.0
+        )
+
+    partial = run_bench(
+        matrix, cache, journal=open_journal(),
+        budget=CampaignBudget(max_workloads=1),
+    )
+    assert validate_artifact(partial) == []
+    assert partial["partial"]["reason"] == "workload-budget"
+    assert partial["partial"]["completed"] == 1
+    assert partial["partial"]["remaining"] == 1
+    # Partial artifacts measure the completed prefix and skip the zoo.
+    assert partial["campaign"]["runs"] == 4
+    assert "zoo" not in partial
+
+    journal = open_journal()
+    assert journal.units() == ["va"]
+    # The resume serves the sealed case from the persistent store.  The
+    # stale-cache guard must accept those journal-reused runs instead of
+    # demanding them as cold misses (the regression this test pins).
+    full = run_bench(matrix, cache, journal=journal)
+    assert validate_artifact(full) == []
+    assert "partial" not in full
+    assert full["campaign"]["runs"] == matrix.run_count == 8
+    assert "zoo" in full
+    assert journal.complete

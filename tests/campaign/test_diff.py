@@ -1,0 +1,51 @@
+"""first_artifact_divergence: path naming, scrubbing, strict compares."""
+
+from repro.campaign import ArtifactDivergence, first_artifact_divergence
+
+
+def test_identical_artifacts_converge():
+    artifact = {"a": [1, {"b": 2.5}], "c": "x"}
+    assert first_artifact_divergence(artifact, dict(artifact)) is None
+
+
+def test_volatile_fields_are_scrubbed_by_default():
+    ours = {"accuracy": {"mape_pct": 2.0}, "wall_s": 1.0, "created_unix": 5.0}
+    theirs = {"accuracy": {"mape_pct": 2.0}, "wall_s": 9.0, "created_unix": 8.0}
+    assert first_artifact_divergence(ours, theirs) is None
+    found = first_artifact_divergence(ours, theirs, scrub=False)
+    assert found is not None
+    assert found.path == "created_unix"
+
+
+def test_nested_paths_are_named():
+    ours = {"workloads": [{"ipcs": [1.0, 2.0]}, {"ipcs": [3.0, 4.0]}]}
+    theirs = {"workloads": [{"ipcs": [1.0, 2.0]}, {"ipcs": [3.0, 5.0]}]}
+    found = first_artifact_divergence(ours, theirs)
+    assert found == ArtifactDivergence("workloads[1].ipcs[1]", 4.0, 5.0)
+    assert "workloads[1].ipcs[1]" in found.describe()
+
+
+def test_list_length_mismatch():
+    found = first_artifact_divergence({"w": [1, 2]}, {"w": [1]})
+    assert found.path == "w.length"
+    assert (found.ours, found.theirs) == (2, 1)
+
+
+def test_absent_keys_use_sentinel():
+    found = first_artifact_divergence({"a": 1}, {"a": 1, "partial": {}})
+    assert found.path == "partial"
+    assert found.ours == "<absent>"
+
+
+def test_type_strict_leaf_compare():
+    # 1 == 1.0 in Python; artifacts must not paper over the type change.
+    found = first_artifact_divergence({"n": 1}, {"n": 1.0})
+    assert found is not None
+    assert found.path == "n"
+
+
+def test_first_divergence_in_key_order():
+    found = first_artifact_divergence(
+        {"a": 1, "b": 2}, {"a": 9, "b": 8}
+    )
+    assert found.path == "a"

@@ -1,0 +1,170 @@
+"""Campaign journal: sealing, replay, tamper detection, torn lines."""
+
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignJournal, plan_digest
+from repro.campaign.journal import JOURNAL_SCHEMA_VERSION, KILL_AFTER_ENV
+from repro.exceptions import CampaignError
+
+KIND = "repro-test-campaign"
+PLAN = {"n": 3, "seed": 7, "scales": [8, 16], "target": 32}
+
+
+def fresh(tmp_path, plan=PLAN, kind=KIND):
+    return CampaignJournal.open(str(tmp_path), kind, plan, created_unix=100.0)
+
+
+class TestPlanDigest:
+    def test_digest_is_stable(self):
+        assert plan_digest(KIND, PLAN) == plan_digest(KIND, dict(PLAN))
+        assert len(plan_digest(KIND, PLAN)) == 16
+
+    def test_digest_separates_plans_and_kinds(self):
+        other = dict(PLAN, seed=8)
+        assert plan_digest(KIND, PLAN) != plan_digest(KIND, other)
+        assert plan_digest(KIND, PLAN) != plan_digest("other-kind", PLAN)
+
+
+class TestSealAndAttach:
+    def test_fresh_journal_seals_header_immediately(self, tmp_path):
+        journal = fresh(tmp_path)
+        lines = open(journal.path).read().splitlines()
+        assert len(lines) == 1
+        header = json.loads(lines[0])
+        assert header["type"] == "header"
+        assert header["kind"] == KIND
+        assert header["schema_version"] == JOURNAL_SCHEMA_VERSION
+        assert header["plan_digest"] == journal.digest == plan_digest(KIND, PLAN)
+        assert header["plan"] == PLAN
+        assert header["created_unix"] == 100.0
+
+    def test_attach_replays_records_in_order(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record("u1", "ok", {"value": 1}, recorded_unix=1.0)
+        journal.record("u2", "failed", {"error": "boom"}, recorded_unix=2.0)
+        attached = fresh(tmp_path)
+        assert attached.units() == ["u1", "u2"]
+        assert attached.completed["u1"] == {"status": "ok", "record": {"value": 1}}
+        assert attached.statuses() == {"ok": 1, "failed": 1}
+        assert attached.corrupt_lines == 0
+        assert not attached.complete
+
+    def test_attach_keeps_original_created_stamp(self, tmp_path):
+        fresh(tmp_path)
+        CampaignJournal.open(str(tmp_path), KIND, PLAN, created_unix=999.0)
+        header = json.loads(open(fresh(tmp_path).path).readline())
+        assert header["created_unix"] == 100.0
+
+    def test_mark_complete_is_durable_and_idempotent(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record("u1", "ok", {}, recorded_unix=1.0)
+        journal.mark_complete(1, recorded_unix=2.0)
+        lines_before = len(open(journal.path).readlines())
+        journal.mark_complete(1, recorded_unix=3.0)
+        assert len(open(journal.path).readlines()) == lines_before
+        assert fresh(tmp_path).complete
+
+    def test_record_rejects_unknown_status(self, tmp_path):
+        with pytest.raises(CampaignError, match="unknown status"):
+            fresh(tmp_path).record("u1", "maybe", {}, recorded_unix=1.0)
+
+
+class TestTamperDetection:
+    def test_different_plan_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        # Force the other plan into the same directory to model a
+        # mislabeled or hand-moved journal.
+        other = CampaignJournal(journal.directory, KIND, journal.digest)
+        with pytest.raises(CampaignError, match="different\\s+plan"):
+            other._replay(dict(PLAN, seed=8))
+
+    def test_tampered_header_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        header = json.loads(open(journal.path).readline())
+        header["kind"] = "doctored"
+        with open(journal.path, "w") as fh:
+            fh.write(json.dumps(header) + "\n")
+        with pytest.raises(CampaignError, match="seal is broken"):
+            fresh(tmp_path)
+
+    def test_empty_journal_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        open(journal.path, "w").close()
+        with pytest.raises(CampaignError, match="empty"):
+            fresh(tmp_path)
+
+    def test_garbage_header_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        with open(journal.path, "w") as fh:
+            fh.write("not json at all\n")
+        with pytest.raises(CampaignError, match="unreadable header"):
+            fresh(tmp_path)
+
+    def test_missing_header_line_refused(self, tmp_path):
+        journal = fresh(tmp_path)
+        with open(journal.path, "w") as fh:
+            fh.write(json.dumps({"type": "workload"}) + "\n")
+        with pytest.raises(CampaignError, match="not a header"):
+            fresh(tmp_path)
+
+
+class TestCorruptRecords:
+    def test_torn_trailing_line_costs_one_unit(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record("u1", "ok", {"value": 1}, recorded_unix=1.0)
+        with open(journal.path, "a") as fh:
+            fh.write('{"type": "workload", "unit": "u2", "stat')
+        with pytest.warns(UserWarning, match="corrupt line"):
+            attached = fresh(tmp_path)
+        assert attached.corrupt_lines == 1
+        assert attached.units() == ["u1"]
+
+    def test_flipped_bit_unseals_the_record(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record("u1", "ok", {"value": 1}, recorded_unix=1.0)
+        lines = open(journal.path).read().splitlines()
+        record = json.loads(lines[1])
+        record["record"]["value"] = 2  # digest now lies
+        with open(journal.path, "w") as fh:
+            fh.write(lines[0] + "\n" + json.dumps(record) + "\n")
+        with pytest.warns(UserWarning, match="corrupt line"):
+            attached = fresh(tmp_path)
+        assert "u1" not in attached.completed
+        assert attached.corrupt_lines == 1
+
+    def test_duplicate_unit_keeps_latest(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.record("u1", "failed", {"error": "flaky"}, recorded_unix=1.0)
+        journal.record("u1", "ok", {"value": 1}, recorded_unix=2.0)
+        with pytest.warns(UserWarning, match="duplicate record"):
+            attached = fresh(tmp_path)
+        assert attached.completed["u1"]["status"] == "ok"
+        assert attached.statuses() == {"ok": 1, "failed": 0}
+
+
+class TestDiscard:
+    def test_discard_removes_only_this_plan(self, tmp_path):
+        journal = fresh(tmp_path)
+        sibling = fresh(tmp_path, plan=dict(PLAN, seed=8))
+        assert CampaignJournal.discard(str(tmp_path), KIND, PLAN)
+        assert not os.path.exists(journal.directory)
+        assert os.path.exists(sibling.path)
+        assert not CampaignJournal.discard(str(tmp_path), KIND, PLAN)
+
+
+class TestKillAfterSeam:
+    def test_non_integer_value_is_ignored(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(KILL_AFTER_ENV, "banana")
+        journal = fresh(tmp_path)
+        with pytest.warns(UserWarning, match="not an integer"):
+            journal.record("u1", "ok", {}, recorded_unix=1.0)
+        assert journal.units() == ["u1"]  # and this process survived
+
+    def test_zero_and_negative_disarm(self, tmp_path, monkeypatch):
+        for raw in ("0", "-3"):
+            monkeypatch.setenv(KILL_AFTER_ENV, raw)
+            journal = fresh(tmp_path, plan=dict(PLAN, seed=hash(raw) % 100))
+            journal.record("u1", "ok", {}, recorded_unix=1.0)

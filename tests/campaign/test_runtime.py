@@ -1,0 +1,164 @@
+"""run_units: plan-order execution, reuse, budgets, drain, scrubbing."""
+
+import itertools
+
+import pytest
+
+from repro.campaign import (
+    CampaignBudget,
+    CampaignJournal,
+    run_units,
+    scrub_artifact,
+)
+from repro.exceptions import ShutdownRequested
+
+KIND = "repro-test-campaign"
+PLAN = {"n": 3}
+UNITS = ["ua", "ub", "uc"]
+
+
+def ok_execute(unit):
+    return "ok", {"unit": unit, "value": len(unit)}
+
+
+def journal_for(tmp_path):
+    return CampaignJournal.open(str(tmp_path), KIND, PLAN, created_unix=0.0)
+
+
+class TestExecution:
+    def test_executes_every_unit_in_plan_order(self):
+        summary = run_units(UNITS, ok_execute)
+        assert [o.unit for o in summary.outcomes] == UNITS
+        assert summary.executed == 3
+        assert summary.reused == 0
+        assert summary.stopped is None
+        assert not summary.partial
+        assert summary.remaining == []
+
+    def test_failed_status_is_data_not_fatal(self):
+        def execute(unit):
+            if unit == "ub":
+                return "failed", {"error": "boom"}
+            return ok_execute(unit)
+
+        summary = run_units(UNITS, execute)
+        assert [o.status for o in summary.outcomes] == ["ok", "failed", "ok"]
+        assert summary.completed == 3
+
+    def test_journal_seals_each_unit_and_completion(self, tmp_path):
+        journal = journal_for(tmp_path)
+        run_units(UNITS, ok_execute, journal=journal)
+        assert journal.complete
+        attached = journal_for(tmp_path)
+        assert attached.units() == UNITS
+        assert attached.complete
+
+    def test_resume_reuses_sealed_units_without_execute(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.record("ua", "ok", {"unit": "ua", "value": 2}, recorded_unix=1.0)
+        journal.record("ub", "failed", {"error": "boom"}, recorded_unix=2.0)
+        executed = []
+
+        def execute(unit):
+            executed.append(unit)
+            return ok_execute(unit)
+
+        summary = run_units(UNITS, execute, journal=journal_for(tmp_path))
+        assert executed == ["uc"]
+        assert summary.reused == 2
+        assert summary.executed == 1
+        # Reuse preserves plan order and sealed statuses verbatim.
+        assert [(o.unit, o.status, o.reused) for o in summary.outcomes] == [
+            ("ua", "ok", True), ("ub", "failed", True), ("uc", "ok", False),
+        ]
+
+
+class TestBudgets:
+    def test_workload_budget_counts_reused_units(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.record("ua", "ok", {}, recorded_unix=1.0)
+        journal.record("ub", "ok", {}, recorded_unix=2.0)
+        summary = run_units(
+            UNITS, ok_execute, journal=journal_for(tmp_path),
+            budget=CampaignBudget(max_workloads=2),
+        )
+        assert summary.stopped == "workload-budget"
+        assert summary.completed == summary.reused == 2
+        assert summary.executed == 0
+        assert summary.remaining == ["uc"]
+
+    def test_wall_budget_never_drops_sealed_units(self, tmp_path):
+        journal = journal_for(tmp_path)
+        journal.record("ua", "ok", {}, recorded_unix=1.0)
+        ticks = itertools.count()
+        summary = run_units(
+            UNITS, ok_execute, journal=journal_for(tmp_path),
+            budget=CampaignBudget(max_wall_s=0.0),
+            clock=lambda: next(ticks),
+        )
+        # The budget was exhausted before the first unit, yet the sealed
+        # one is still reused; the stop lands on the first unsealed unit.
+        assert [o.unit for o in summary.outcomes] == ["ua"]
+        assert summary.reused == 1
+        assert summary.stopped == "wall-budget"
+        assert summary.remaining == ["ub", "uc"]
+
+    def test_workload_budget_wins_over_wall_budget(self):
+        budget = CampaignBudget(max_wall_s=0.0, max_workloads=0)
+        assert budget.exceeded(0, 1.0) == "workload-budget"
+
+    def test_within_budget_returns_none(self):
+        budget = CampaignBudget(max_wall_s=10.0, max_workloads=5)
+        assert budget.exceeded(4, 9.0) is None
+
+    def test_budget_stop_does_not_mark_complete(self, tmp_path):
+        run_units(
+            UNITS, ok_execute, journal=journal_for(tmp_path),
+            budget=CampaignBudget(max_workloads=1),
+        )
+        assert not journal_for(tmp_path).complete
+
+
+class TestDrain:
+    def test_shutdown_becomes_a_clean_drain(self, tmp_path):
+        def execute(unit):
+            if unit == "ub":
+                raise ShutdownRequested(signum=15)
+            return ok_execute(unit)
+
+        journal = journal_for(tmp_path)
+        summary = run_units(UNITS, execute, journal=journal)
+        assert summary.stopped == "drain"
+        assert summary.signum == 15
+        assert [o.unit for o in summary.outcomes] == ["ua"]
+        assert summary.remaining == ["ub", "uc"]
+        assert not journal.complete
+        # The completed prefix is sealed: a resume executes the rest.
+        resumed = run_units(UNITS, ok_execute, journal=journal_for(tmp_path))
+        assert resumed.reused == 1
+        assert resumed.executed == 2
+        assert resumed.stopped is None
+
+    def test_other_exceptions_are_campaign_fatal(self):
+        def execute(unit):
+            raise ValueError("driver bug")
+
+        with pytest.raises(ValueError, match="driver bug"):
+            run_units(UNITS, execute)
+
+
+class TestScrub:
+    def test_volatile_fields_dropped_recursively(self):
+        artifact = {
+            "wall_s": 1.5,
+            "accuracy": {"mape_pct": 2.0, "created_unix": 123.0},
+            "workloads": [{"ipc": 3.0, "wall_time_s": 0.5}],
+        }
+        assert scrub_artifact(artifact) == {
+            "accuracy": {"mape_pct": 2.0},
+            "workloads": [{"ipc": 3.0}],
+        }
+
+    def test_custom_volatile_set(self):
+        artifact = {"keep": 1, "drop": 2}
+        assert scrub_artifact(artifact, volatile={"drop"}) == {"keep": 1}

@@ -1,0 +1,152 @@
+"""Crash-safety acceptance against real subprocesses: a SIGKILL mid-
+campaign (via the ``REPRO_CAMPAIGN_KILL_AFTER`` chaos seam) loses
+nothing — the rerun reuses every sealed workload, re-simulates zero of
+them, and converges bit-identically to an uninterrupted run — and a
+SIGTERM drains to exit 75 with a schema-valid partial artifact."""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.campaign import first_artifact_divergence
+from repro.campaign.journal import KILL_AFTER_ENV
+from repro.resilience import EXIT_INTERRUPTED, EXIT_OK
+from repro.zoo import validate_campaign_artifact
+
+ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+SRC = os.path.join(ROOT, "src")
+SCRIPT = os.path.join(ROOT, "scripts", "zoo_campaign.py")
+
+N = 3
+SEED = 9
+WORK_SCALE = 0.25
+
+#: One generated workload finished its sweep (progress line from the
+#: campaign driver, e.g. ``  z3f9a... intent=linear measured=linear``).
+_MEASURED = re.compile(r"^  z.+(measured=|FAILED)")
+
+
+def campaign_env(**extra):
+    env = dict(os.environ, PYTHONPATH=SRC, REPRO_NO_FSYNC="1", **extra)
+    env.pop("REPRO_FAULT_INJECT", None)
+    if KILL_AFTER_ENV not in extra:
+        env.pop(KILL_AFTER_ENV, None)
+    return env
+
+
+def campaign_argv(workdir, out):
+    return [
+        sys.executable, "-u", SCRIPT,
+        "--n", str(N), "--seed", str(SEED),
+        "--work-scale", str(WORK_SCALE), "--jobs", "1",
+        "--journal-dir", os.path.join(workdir, "journal"),
+        "--cache-dir", os.path.join(workdir, "cache"),
+        "--out", out,
+    ]
+
+
+def executed_workloads(stdout):
+    return sum(1 for line in stdout.splitlines() if _MEASURED.match(line))
+
+
+def run_campaign_process(workdir, out, **extra_env):
+    return subprocess.run(
+        campaign_argv(workdir, out), capture_output=True, text=True,
+        timeout=600, env=campaign_env(**extra_env),
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted run of the test plan: exit 0 and its artifact."""
+    workdir = str(tmp_path_factory.mktemp("reference"))
+    out = os.path.join(workdir, "zoo.json")
+    proc = run_campaign_process(workdir, out)
+    assert proc.returncode == EXIT_OK, (proc.stdout, proc.stderr)
+    with open(out) as handle:
+        return json.load(handle)
+
+
+def test_sigkill_then_rerun_converges_with_zero_resimulation(
+    tmp_path, reference
+):
+    workdir = str(tmp_path)
+    out = os.path.join(workdir, "zoo.json")
+
+    killed = run_campaign_process(workdir, out, **{KILL_AFTER_ENV: "1"})
+    assert killed.returncode == -signal.SIGKILL, (killed.stdout, killed.stderr)
+    assert not os.path.exists(out)
+    # The journal survived the kill: sealed header plus exactly the one
+    # workload record that became durable before the SIGKILL landed.
+    journal_root = os.path.join(workdir, "journal")
+    (digest_dir,) = os.listdir(journal_root)
+    journal_path = os.path.join(journal_root, digest_dir, "journal.jsonl")
+    lines = [
+        json.loads(line)
+        for line in open(journal_path).read().splitlines()
+        if line.strip()
+    ]
+    assert [record["type"] for record in lines] == ["header", "workload"]
+
+    resumed = run_campaign_process(workdir, out)
+    assert resumed.returncode == EXIT_OK, (resumed.stdout, resumed.stderr)
+    assert f"resume: reused 1 of {N} workload(s)" in resumed.stdout
+    # Zero re-simulated workloads: only the N-1 unsealed ones ran.
+    assert executed_workloads(resumed.stdout) == N - 1
+    with open(out) as handle:
+        artifact = json.load(handle)
+    assert validate_campaign_artifact(artifact) == []
+    assert "partial" not in artifact
+    assert first_artifact_divergence(artifact, reference) is None
+
+
+def test_sigterm_drains_to_exit_75_with_valid_partial_artifact(tmp_path):
+    workdir = str(tmp_path)
+    out = os.path.join(workdir, "zoo.json")
+    proc = subprocess.Popen(
+        campaign_argv(workdir, out), stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=campaign_env(),
+    )
+    try:
+        # SIGTERM the moment the first workload lands: its record is
+        # sealed, the rest of the sweep drains at the unit boundary.
+        head = []
+        for line in proc.stdout:
+            head.append(line)
+            if _MEASURED.match(line):
+                proc.send_signal(signal.SIGTERM)
+                break
+        tail, err = proc.communicate(timeout=600)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    stdout = "".join(head) + tail
+    assert proc.returncode == EXIT_INTERRUPTED, (stdout, err)
+
+    with open(out) as handle:
+        artifact = json.load(handle)
+    assert validate_campaign_artifact(artifact) == []
+    partial = artifact["partial"]
+    assert partial["reason"] == "drain"
+    assert partial["signum"] == signal.SIGTERM
+    assert 1 <= partial["completed"] < N
+    cells = sum(sum(row.values()) for row in artifact["confusion"].values())
+    assert cells == len(artifact["workloads"])
+    assert len(artifact["workloads"]) + len(artifact["failures"]) == \
+        partial["completed"]
+
+    # Rerunning the same command finishes the campaign.
+    resumed = run_campaign_process(workdir, out)
+    assert resumed.returncode == EXIT_OK, (resumed.stdout, resumed.stderr)
+    with open(out) as handle:
+        final = json.load(handle)
+    assert "partial" not in final
+    assert validate_campaign_artifact(final) == []
